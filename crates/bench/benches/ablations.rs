@@ -1,0 +1,82 @@
+//! Benchmarks of the moving parts the ablations vary: the load
+//! estimator, the controller reallocation step, and the threaded
+//! server's dispatch under each proportional-share kernel.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psd_core::controller::ControllerParams;
+use psd_core::estimator::LoadEstimator;
+use psd_core::PsdController;
+use psd_desim::{RateController, WindowObservation};
+use psd_server::{PsdServer, SchedulerKind, ServerConfig, Workload};
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    for &history in &[1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("observe_estimate", history), &history, |b, &h| {
+            let mut e = LoadEstimator::new(3, h);
+            let rates = [0.5, 0.8, 0.2];
+            b.iter(|| {
+                e.observe(black_box(&rates));
+                black_box(e.estimate())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    c.bench_function("psd_controller_reallocate", |b| {
+        let mut ctl = PsdController::new(vec![1.0, 2.0, 3.0], 0.29, ControllerParams::default());
+        ctl.initial_rates(3);
+        let w = WindowObservation {
+            index: 0,
+            start: 0.0,
+            end: 290.0,
+            arrivals: vec![120, 240, 80],
+            arrived_work: vec![35.0, 70.0, 23.0],
+            completions: vec![118, 236, 81],
+            backlog: vec![3, 8, 1],
+            slowdown_sums: vec![250.0, 900.0, 120.0],
+        };
+        b.iter(|| ctl.reallocate(black_box(290.0), black_box(&w)))
+    });
+}
+
+/// End-to-end dispatch latency of the threaded server per kernel: push
+/// N requests through a 1-worker server with near-zero service times.
+fn bench_server_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_dispatch");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("wfq", SchedulerKind::Wfq),
+        ("stride", SchedulerKind::Stride),
+        ("drr", SchedulerKind::Drr(2.0)),
+        ("lottery", SchedulerKind::Lottery(7)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let server = Arc::new(PsdServer::start(ServerConfig {
+                    deltas: vec![1.0, 2.0],
+                    mean_cost: 1.0,
+                    scheduler: kind,
+                    workers: 1,
+                    work_unit: Duration::from_nanos(100),
+                    workload: Workload::Sleep,
+                    control_window: Duration::from_millis(50),
+                    estimator_history: 5,
+                }));
+                for i in 0..200u64 {
+                    server.submit((i % 2) as usize, 1.0);
+                }
+                Arc::try_unwrap(server).ok().expect("sole owner").shutdown()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator, bench_controller_tick, bench_server_kernels);
+criterion_main!(benches);

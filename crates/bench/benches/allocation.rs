@@ -1,0 +1,48 @@
+//! Microbenchmarks of the Eq. 17 allocator and the Eq. 18 predictor —
+//! the per-control-tick cost of the paper's strategy, which must be
+//! negligible next to a 1000-time-unit window.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psd_core::allocation::{psd_rates, psd_rates_clamped};
+use psd_core::model::PsdModel;
+use psd_dist::{BoundedPareto, ServiceDistribution};
+
+fn bench_allocation(c: &mut Criterion) {
+    let bp = BoundedPareto::paper_default();
+    let ex = bp.mean();
+    let mut group = c.benchmark_group("psd_rates");
+    for &n in &[2usize, 3, 8, 32, 128] {
+        let deltas: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let lambdas: Vec<f64> = (0..n).map(|_| 0.8 / n as f64 / ex).collect();
+        group.bench_with_input(BenchmarkId::new("eq17", n), &n, |b, _| {
+            b.iter(|| psd_rates(black_box(&lambdas), black_box(&deltas), black_box(ex)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eq17_clamped", n), &n, |b, _| {
+            b.iter(|| {
+                psd_rates_clamped(
+                    black_box(&lambdas),
+                    black_box(&deltas),
+                    black_box(ex),
+                    1e-4,
+                    0.02,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let bp = BoundedPareto::paper_default();
+    let ex = bp.mean();
+    let deltas = [1.0, 2.0, 3.0];
+    let model = PsdModel::new(&deltas, bp.moments()).unwrap();
+    let lambdas = vec![0.2 / ex; 3];
+    c.bench_function("eq18_expected_slowdowns", |b| {
+        b.iter(|| model.expected_slowdowns(black_box(&lambdas)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_allocation, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Reduced-scale regeneration of every paper figure as a criterion
+//! bench: `cargo bench` therefore exercises the code path behind each
+//! figure end-to-end. Full-scale series come from the `figures` binary
+//! (`cargo run --release -p psd-bench --bin figures`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psd_bench::{ablations, figures, HarnessParams};
+
+fn quick() -> HarnessParams {
+    HarnessParams { runs: 2, seed: 11, quick: true }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    let p = quick();
+    group.bench_function("fig2_effectiveness_2class", |b| b.iter(|| figures::fig2(&p)));
+    group.bench_function("fig3_effectiveness_1to4", |b| b.iter(|| figures::fig3(&p)));
+    group.bench_function("fig4_effectiveness_3class", |b| b.iter(|| figures::fig4(&p)));
+    group.bench_function("fig5_ratio_percentiles_2class", |b| b.iter(|| figures::fig5(&p)));
+    group.bench_function("fig6_ratio_percentiles_3class", |b| b.iter(|| figures::fig6(&p)));
+    group.bench_function("fig7_trace_load50", |b| b.iter(|| figures::fig7(&p)));
+    group.bench_function("fig8_trace_load90", |b| b.iter(|| figures::fig8(&p)));
+    group.bench_function("fig9_controllability_2class", |b| b.iter(|| figures::fig9(&p)));
+    group.bench_function("fig10_controllability_3class", |b| b.iter(|| figures::fig10(&p)));
+    group.bench_function("fig11_shape_sweep", |b| b.iter(|| figures::fig11(&p)));
+    group.bench_function("fig12_upper_bound_sweep", |b| b.iter(|| figures::fig12(&p)));
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations_quick");
+    group.sample_size(10);
+    let p = quick();
+    group.bench_function("estimator_history", |b| b.iter(|| ablations::estimator_history(&p)));
+    group.bench_function("fluid_vs_pinned", |b| b.iter(|| ablations::fluid_vs_pinned(&p)));
+    group.bench_function("baselines", |b| b.iter(|| ablations::baselines(&p)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Throughput of the proportional-share kernels (the dispatch hot path
+//! of the threaded server): enqueue+dequeue cycles per second for WFQ,
+//! Lottery, Stride and DRR at several class counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psd_propshare::{Drr, Lottery, ProportionalScheduler, Stride, Wfq, WorkItem};
+
+fn cycle<S: ProportionalScheduler>(s: &mut S, n_classes: usize, iters: u64) {
+    let mut id = 0u64;
+    // Keep every class backlogged with 2 items.
+    for c in 0..n_classes {
+        for _ in 0..2 {
+            s.enqueue(c, WorkItem { id, cost: 1.0 + (id % 7) as f64 * 0.3 });
+            id += 1;
+        }
+    }
+    for _ in 0..iters {
+        let (c, _) = s.dequeue().expect("backlogged");
+        s.enqueue(c, WorkItem { id, cost: 1.0 + (id % 7) as f64 * 0.3 });
+        id += 1;
+    }
+    black_box(s.backlog(0));
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_cycle");
+    for &n in &[2usize, 8, 64] {
+        let weights: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("wfq", n), &n, |b, &n| {
+            b.iter(|| cycle(&mut Wfq::new(weights.clone()), n, 1_000))
+        });
+        group.bench_with_input(BenchmarkId::new("stride", n), &n, |b, &n| {
+            b.iter(|| cycle(&mut Stride::new(weights.clone()), n, 1_000))
+        });
+        group.bench_with_input(BenchmarkId::new("drr", n), &n, |b, &n| {
+            b.iter(|| cycle(&mut Drr::new(weights.clone(), 2.0), n, 1_000))
+        });
+        group.bench_with_input(BenchmarkId::new("lottery", n), &n, |b, &n| {
+            b.iter(|| cycle(&mut Lottery::new(weights.clone(), 42), n, 1_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! # psd-bench — figure-reproduction harness and benchmark plumbing
+//!
+//! One function per figure of the paper's evaluation section (§4,
+//! Figures 2–12). Each returns a [`table::Table`] whose rows are the
+//! series the paper plots, so the `figures` binary can print them and
+//! `EXPERIMENTS.md` can record paper-vs-measured. The criterion benches
+//! reuse the same functions at reduced scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+pub mod table;
+
+/// Shared harness parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessParams {
+    /// Replications per data point (paper: 100; default here: 20 to keep
+    /// the full regeneration under a few minutes).
+    pub runs: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Shrink horizons ~10× for smoke tests and criterion benches.
+    pub quick: bool,
+}
+
+impl Default for HarnessParams {
+    fn default() -> Self {
+        Self { runs: 20, seed: 20040426, quick: false }
+    }
+}
+
+impl HarnessParams {
+    /// Simulation horizon in time units: the paper's 61 000 (10 000
+    /// warm-up + measurement to 60 000 + one traced window), or a short
+    /// horizon in quick mode.
+    pub fn horizon(&self) -> (f64, f64) {
+        if self.quick {
+            (8_000.0, 1_000.0)
+        } else {
+            (61_000.0, 10_000.0)
+        }
+    }
+
+    /// The load sweep on the x-axis of Figs 2–6 and 9–10.
+    pub fn load_sweep(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.3, 0.6, 0.9]
+        } else {
+            vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text + JSON tables for figure output.
+
+use serde::Serialize;
+
+/// A named series table: one row per x-axis point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Figure id, e.g. `"fig2"`.
+    pub id: String,
+    /// Human title (matches the paper's caption).
+    pub title: String,
+    /// Column headers; column 0 is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+    /// Free-form notes (parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for n in &self.notes {
+            out.push_str(&format!("   # {n}\n"));
+        }
+        let width = 14usize;
+        let header: Vec<String> =
+            self.columns.iter().map(|c| format!("{c:>width$}")).collect();
+        out.push_str(&header.join(" "));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.is_nan() {
+                        format!("{:>width$}", "-")
+                    } else if v.abs() >= 1000.0 || (v.abs() < 0.01 && *v != 0.0) {
+                        format!("{v:>width$.3e}")
+                    } else {
+                        format!("{v:>width$.4}")
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = Table::new("figX", "demo", &["load", "value"]);
+        t.push_row(vec![0.5, 1.25]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("load"));
+        assert!(s.contains("1.2500"));
+        assert!(s.contains("# a note"));
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        let mut t = Table::new("f", "t", &["x"]);
+        t.push_row(vec![f64::NAN]);
+        assert!(t.render().contains('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        Table::new("f", "t", &["a", "b"]).push_row(vec![1.0]);
+    }
+}

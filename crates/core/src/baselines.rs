@@ -1,0 +1,246 @@
+//! Baseline allocators the paper argues against (§5) — none of them
+//! achieves proportional *slowdown* differentiation. They plug into the
+//! same simulator so the benches can show the contrast.
+
+use psd_desim::{RateController, WindowObservation};
+
+use crate::estimator::LoadEstimator;
+
+/// Fixed even split: `r_i = 1/N` forever. No differentiation at all —
+/// the "no QoS" reference point.
+#[derive(Debug, Clone, Default)]
+pub struct EqualShare;
+
+impl RateController for EqualShare {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        vec![1.0 / n_classes as f64; n_classes]
+    }
+
+    fn reallocate(&mut self, _now: f64, _w: &WindowObservation) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Rates proportional to each class's estimated offered load
+/// (`r_i ∝ λ̂_i`). Every task server then sees the same utilization, so
+/// every class gets (roughly) the same slowdown — proportional *fair*
+/// sharing, but zero differentiation.
+#[derive(Debug, Clone)]
+pub struct LoadProportional {
+    estimator: LoadEstimator,
+    history: usize,
+    started: bool,
+}
+
+impl LoadProportional {
+    /// `history` = estimator window count (use the same as PSD for fair
+    /// comparisons).
+    pub fn new(history: usize) -> Self {
+        Self { estimator: LoadEstimator::new(1, 1), history, started: false }
+    }
+}
+
+impl RateController for LoadProportional {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        self.estimator = LoadEstimator::new(n_classes, self.history);
+        self.started = true;
+        vec![1.0 / n_classes as f64; n_classes]
+    }
+
+    fn reallocate(&mut self, _now: f64, w: &WindowObservation) -> Option<Vec<f64>> {
+        assert!(self.started, "initial_rates not called");
+        self.estimator.observe(&w.arrival_rates());
+        let est = self.estimator.estimate().expect("just observed");
+        let total: f64 = est.iter().sum();
+        let n = est.len();
+        if total == 0.0 {
+            return Some(vec![1.0 / n as f64; n]);
+        }
+        Some(est.iter().map(|l| l / total).collect())
+    }
+}
+
+/// Backlog-proportional rates scaled by the differentiation parameter
+/// (`r_i ∝ B_i/δ_i`) — a server-side transplant of the BPR family of
+/// rate-based PDD packet schedulers (Dovrolis et al.). It differentiates
+/// *queueing delay*, approximately, but not slowdown: it is blind to
+/// service times, the paper's §1/§5 argument.
+#[derive(Debug, Clone)]
+pub struct BacklogProportional {
+    deltas: Vec<f64>,
+    /// Floor so no class ever fully starves.
+    min_rate: f64,
+}
+
+impl BacklogProportional {
+    /// Build with the PDD differentiation parameters.
+    pub fn new(deltas: Vec<f64>, min_rate: f64) -> Self {
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|&d| d > 0.0), "deltas must be positive");
+        assert!(min_rate >= 0.0 && min_rate * deltas.len() as f64 <= 1.0);
+        Self { deltas, min_rate }
+    }
+}
+
+impl RateController for BacklogProportional {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        assert_eq!(n_classes, self.deltas.len(), "class count mismatch");
+        vec![1.0 / n_classes as f64; n_classes]
+    }
+
+    fn reallocate(&mut self, _now: f64, w: &WindowObservation) -> Option<Vec<f64>> {
+        let weights: Vec<f64> = w
+            .backlog
+            .iter()
+            .zip(&self.deltas)
+            .map(|(&b, d)| b as f64 / d)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let n = weights.len();
+        let mut rates: Vec<f64> = if total == 0.0 {
+            vec![1.0 / n as f64; n]
+        } else {
+            weights.iter().map(|x| x / total).collect()
+        };
+        // Apply the floor and renormalize.
+        for r in &mut rates {
+            *r = r.max(self.min_rate);
+        }
+        let sum: f64 = rates.iter().sum();
+        for r in &mut rates {
+            *r /= sum;
+        }
+        Some(rates)
+    }
+}
+
+/// Strict priority as a rate allocation: every class gets its estimated
+/// raw requirement; *all* residual capacity goes to the highest class
+/// (class 0). Reproduces the behaviour of priority scheduling studies
+/// (§5): differentiation happens, but quality spacing is uncontrollable.
+#[derive(Debug, Clone)]
+pub struct StrictPriority {
+    mean_service: f64,
+    estimator: LoadEstimator,
+    history: usize,
+    started: bool,
+}
+
+impl StrictPriority {
+    /// `mean_service` = `E[X]` of the workload; `history` as elsewhere.
+    pub fn new(mean_service: f64, history: usize) -> Self {
+        assert!(mean_service > 0.0);
+        Self { mean_service, estimator: LoadEstimator::new(1, 1), history, started: false }
+    }
+}
+
+impl RateController for StrictPriority {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        self.estimator = LoadEstimator::new(n_classes, self.history);
+        self.started = true;
+        vec![1.0 / n_classes as f64; n_classes]
+    }
+
+    fn reallocate(&mut self, _now: f64, w: &WindowObservation) -> Option<Vec<f64>> {
+        assert!(self.started, "initial_rates not called");
+        self.estimator.observe(&w.arrival_rates());
+        let est = self.estimator.estimate().expect("just observed");
+        let n = est.len();
+        let mut rates: Vec<f64> = est.iter().map(|l| l * self.mean_service).collect();
+        let rho: f64 = rates.iter().sum();
+        if rho >= 1.0 {
+            // Overloaded: everything to class 0 first, then down the line.
+            let mut remaining = 1.0;
+            for r in &mut rates {
+                let take = r.min(remaining);
+                *r = take;
+                remaining -= take;
+            }
+        } else {
+            rates[0] += 1.0 - rho;
+        }
+        let _ = n;
+        Some(rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(arrivals: Vec<u64>, backlog: Vec<u64>) -> WindowObservation {
+        let n = arrivals.len();
+        WindowObservation {
+            index: 0,
+            start: 0.0,
+            end: 1000.0,
+            arrivals,
+            arrived_work: vec![0.0; n],
+            completions: vec![0; n],
+            backlog,
+            slowdown_sums: vec![0.0; n],
+        }
+    }
+
+    #[test]
+    fn equal_share_never_moves() {
+        let mut c = EqualShare;
+        assert_eq!(c.initial_rates(4), vec![0.25; 4]);
+        assert!(c.reallocate(1.0, &window(vec![9, 0, 0, 0], vec![9, 0, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn load_proportional_tracks_load() {
+        let mut c = LoadProportional::new(1);
+        c.initial_rates(2);
+        let r = c.reallocate(1.0, &window(vec![300, 100], vec![0, 0])).unwrap();
+        assert!((r[0] - 0.75).abs() < 1e-12);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_proportional_idle_is_even() {
+        let mut c = LoadProportional::new(1);
+        c.initial_rates(3);
+        let r = c.reallocate(1.0, &window(vec![0, 0, 0], vec![0, 0, 0])).unwrap();
+        assert_eq!(r, vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn backlog_proportional_weights_by_delta() {
+        let mut c = BacklogProportional::new(vec![1.0, 2.0], 0.0);
+        c.initial_rates(2);
+        // Equal backlogs, δ = (1,2) ⇒ weights (B, B/2) ⇒ (2/3, 1/3).
+        let r = c.reallocate(1.0, &window(vec![0, 0], vec![10, 10])).unwrap();
+        assert!((r[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backlog_floor_applies() {
+        let mut c = BacklogProportional::new(vec![1.0, 2.0], 0.05);
+        c.initial_rates(2);
+        let r = c.reallocate(1.0, &window(vec![0, 0], vec![10, 0])).unwrap();
+        assert!(r[1] > 0.0);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_priority_residual_to_class0() {
+        let mut c = StrictPriority::new(0.5, 1);
+        c.initial_rates(2);
+        // λ = (0.4, 0.4), E[X] = 0.5 ⇒ ρ_i = 0.2 each, residual 0.6 → class 0.
+        let r = c.reallocate(1.0, &window(vec![400, 400], vec![0, 0])).unwrap();
+        assert!((r[0] - 0.8).abs() < 1e-12);
+        assert!((r[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strict_priority_overload_serves_top_first() {
+        let mut c = StrictPriority::new(0.5, 1);
+        c.initial_rates(2);
+        // ρ_i = 0.75 each (total 1.5): class 0 gets 0.75, class 1 gets 0.25.
+        let r = c.reallocate(1.0, &window(vec![1500, 1500], vec![0, 0])).unwrap();
+        assert!((r[0] - 0.75).abs() < 1e-12);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! [`PsdController`] — the online rate allocator of the paper: a
+//! [`LoadEstimator`] feeding [`crate::allocation::psd_rates_clamped`],
+//! re-run at every control tick of the simulator.
+
+use crate::allocation::psd_rates_clamped;
+use crate::estimator::LoadEstimator;
+use psd_desim::{RateController, WindowObservation};
+
+/// Tuning knobs for the online controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerParams {
+    /// Windows averaged by the load estimator (paper: 5).
+    pub estimator_history: usize,
+    /// Minimum rate guaranteed to every class (guards against transient
+    /// zero-load estimates starving a class).
+    pub min_rate: f64,
+    /// Treat estimated total load above `1 − overload_margin` as
+    /// overload and fall back to load-proportional shares.
+    pub overload_margin: f64,
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        Self { estimator_history: 5, min_rate: 1e-4, overload_margin: 0.02 }
+    }
+}
+
+/// The paper's rate allocator as a plug-in simulator controller.
+#[derive(Debug, Clone)]
+pub struct PsdController {
+    deltas: Vec<f64>,
+    mean_service: f64,
+    /// Nominal arrival rates used for the initial allocation, before any
+    /// window has been observed (`None` ⇒ even initial split).
+    nominal_lambdas: Option<Vec<f64>>,
+    params: ControllerParams,
+    estimator: LoadEstimator,
+}
+
+impl PsdController {
+    /// Build a controller for classes with parameters `deltas`, serving
+    /// a workload with full-rate mean service time `mean_service`.
+    pub fn new(deltas: Vec<f64>, mean_service: f64, params: ControllerParams) -> Self {
+        assert!(!deltas.is_empty(), "at least one class");
+        assert!(deltas.iter().all(|&d| d.is_finite() && d > 0.0), "deltas must be positive");
+        assert!(mean_service.is_finite() && mean_service > 0.0, "bad mean service time");
+        let estimator = LoadEstimator::new(deltas.len(), params.estimator_history);
+        Self { deltas, mean_service, nominal_lambdas: None, params, estimator }
+    }
+
+    /// Provide nominal arrival rates for a warm start (the paper's
+    /// simulations know the offered load a priori; the estimator takes
+    /// over as soon as the first window closes).
+    pub fn with_nominal_lambdas(mut self, lambdas: Vec<f64>) -> Self {
+        assert_eq!(lambdas.len(), self.deltas.len(), "class count mismatch");
+        self.nominal_lambdas = Some(lambdas);
+        self
+    }
+
+    fn allocate(&self, lambdas: &[f64]) -> Vec<f64> {
+        psd_rates_clamped(
+            lambdas,
+            &self.deltas,
+            self.mean_service,
+            self.params.min_rate,
+            self.params.overload_margin,
+        )
+        .expect("inputs validated at construction; clamped allocation is total")
+    }
+}
+
+impl RateController for PsdController {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        assert_eq!(n_classes, self.deltas.len(), "class count mismatch");
+        match &self.nominal_lambdas {
+            Some(l) => {
+                let l = l.clone();
+                self.allocate(&l)
+            }
+            None => vec![1.0 / n_classes as f64; n_classes],
+        }
+    }
+
+    fn reallocate(&mut self, _now: f64, window: &WindowObservation) -> Option<Vec<f64>> {
+        self.estimator.observe(&window.arrival_rates());
+        let est = self.estimator.estimate().expect("just observed a window");
+        Some(self.allocate(&est))
+    }
+}
+
+/// Online controller for classes with **per-class service
+/// distributions** (the heterogeneous extension of Eq. 17 — see
+/// [`crate::allocation::psd_rates_heterogeneous`]). The paper's setting
+/// (one shared Bounded Pareto) is the special case of identical moment
+/// sets; session-style workloads where "checkout" and "search" requests
+/// differ need this variant.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousPsdController {
+    deltas: Vec<f64>,
+    moments: Vec<psd_dist::Moments>,
+    params: ControllerParams,
+    estimator: LoadEstimator,
+}
+
+impl HeterogeneousPsdController {
+    /// Build from per-class differentiation parameters and service
+    /// moments (each class must have finite `E[X²]` and `E[1/X]`).
+    pub fn new(
+        deltas: Vec<f64>,
+        moments: Vec<psd_dist::Moments>,
+        params: ControllerParams,
+    ) -> Self {
+        assert!(!deltas.is_empty(), "at least one class");
+        assert_eq!(deltas.len(), moments.len(), "class count mismatch");
+        assert!(deltas.iter().all(|&d| d.is_finite() && d > 0.0), "deltas must be positive");
+        for (i, m) in moments.iter().enumerate() {
+            assert!(m.mean.is_finite() && m.mean > 0.0, "class {i} bad mean");
+            assert!(m.mean_inverse.is_some(), "class {i} has divergent E[1/X]");
+            assert!(m.second_moment.is_finite(), "class {i} infinite E[X^2]");
+        }
+        let estimator = LoadEstimator::new(deltas.len(), params.estimator_history);
+        Self { deltas, moments, params, estimator }
+    }
+
+    fn allocate(&self, lambdas: &[f64]) -> Vec<f64> {
+        use crate::allocation::psd_rates_heterogeneous;
+        let n = self.deltas.len();
+        let rho: f64 = lambdas.iter().zip(&self.moments).map(|(l, m)| l * m.mean).sum();
+        let mut rates = if rho >= 1.0 - self.params.overload_margin {
+            // Overload: shares proportional to each class's offered load.
+            if rho == 0.0 {
+                vec![1.0 / n as f64; n]
+            } else {
+                lambdas.iter().zip(&self.moments).map(|(l, m)| l * m.mean / rho).collect()
+            }
+        } else {
+            psd_rates_heterogeneous(lambdas, &self.deltas, &self.moments)
+                .expect("moments validated at construction; load checked above")
+        };
+        let min_rate = self.params.min_rate;
+        if min_rate > 0.0 {
+            let mut sum = 0.0;
+            for r in &mut rates {
+                *r = r.max(min_rate);
+                sum += *r;
+            }
+            for r in &mut rates {
+                *r /= sum;
+            }
+        }
+        rates
+    }
+}
+
+impl RateController for HeterogeneousPsdController {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        assert_eq!(n_classes, self.deltas.len(), "class count mismatch");
+        vec![1.0 / n_classes as f64; n_classes]
+    }
+
+    fn reallocate(&mut self, _now: f64, window: &WindowObservation) -> Option<Vec<f64>> {
+        self.estimator.observe(&window.arrival_rates());
+        let est = self.estimator.estimate().expect("just observed a window");
+        Some(self.allocate(&est))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_dist::{BoundedPareto, ServiceDistribution};
+
+    fn window(arrivals: Vec<u64>, dur: f64) -> WindowObservation {
+        let n = arrivals.len();
+        WindowObservation {
+            index: 0,
+            start: 0.0,
+            end: dur,
+            arrivals,
+            arrived_work: vec![0.0; n],
+            completions: vec![0; n],
+            backlog: vec![0; n],
+            slowdown_sums: vec![0.0; n],
+        }
+    }
+
+    #[test]
+    fn initial_even_split_without_nominal() {
+        let mut c = PsdController::new(vec![1.0, 2.0], 0.29, ControllerParams::default());
+        assert_eq!(c.initial_rates(2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn initial_warm_start_with_nominal() {
+        let ex = BoundedPareto::paper_default().mean();
+        let lambdas = vec![0.3 / ex, 0.3 / ex];
+        let mut c = PsdController::new(vec![1.0, 2.0], ex, ControllerParams::default())
+            .with_nominal_lambdas(lambdas.clone());
+        let r = c.initial_rates(2);
+        // Must match the clamped Eq.17 allocation.
+        let want = psd_rates_clamped(&lambdas, &[1.0, 2.0], ex, 1e-4, 0.02).unwrap();
+        assert_eq!(r, want);
+        assert!(r[0] > r[1]);
+    }
+
+    #[test]
+    fn reallocation_tracks_observed_rates() {
+        let ex = 0.5;
+        let mut c = PsdController::new(vec![1.0, 2.0], ex, ControllerParams::default());
+        c.initial_rates(2);
+        // 1000 time units, 600 arrivals class 0, 300 class 1.
+        let r = c.reallocate(1000.0, &window(vec![600, 300], 1000.0)).unwrap();
+        let want = psd_rates_clamped(&[0.6, 0.3], &[1.0, 2.0], ex, 1e-4, 0.02).unwrap();
+        for (a, b) in r.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimator_smooths_across_windows() {
+        let ex = 0.5;
+        let mut c = PsdController::new(
+            vec![1.0, 1.0],
+            ex,
+            ControllerParams { estimator_history: 2, ..Default::default() },
+        );
+        c.initial_rates(2);
+        let r1 = c.reallocate(1.0, &window(vec![100, 100], 1000.0)).unwrap();
+        // A burst in class 0; with history 2 the estimate is the mean of
+        // (0.1, 0.5) = 0.3 vs class 1's 0.1.
+        let r2 = c.reallocate(2.0, &window(vec![500, 100], 1000.0)).unwrap();
+        assert!(r2[0] > r1[0], "rates shift toward the bursting class");
+        let want = psd_rates_clamped(&[0.3, 0.1], &[1.0, 1.0], ex, 1e-4, 0.02).unwrap();
+        assert!((r2[0] - want[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_does_not_panic() {
+        let mut c = PsdController::new(vec![1.0, 2.0], 0.5, ControllerParams::default());
+        c.initial_rates(2);
+        // Estimated ρ = (3+3)·0.5 = 3 ⇒ fallback path.
+        let r = c.reallocate(1.0, &window(vec![3000, 3000], 1000.0)).unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((r[0] - 0.5).abs() < 1e-9, "load-proportional fallback");
+    }
+
+    #[test]
+    fn min_rate_floor_respected() {
+        let mut c = PsdController::new(
+            vec![1.0, 2.0],
+            0.5,
+            ControllerParams { min_rate: 0.05, ..Default::default() },
+        );
+        c.initial_rates(2);
+        let r = c.reallocate(1.0, &window(vec![1000, 0], 1000.0)).unwrap();
+        assert!(r[1] >= 0.049, "idle class keeps a floor rate: {r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn nominal_length_checked() {
+        PsdController::new(vec![1.0, 2.0], 0.5, ControllerParams::default())
+            .with_nominal_lambdas(vec![1.0]);
+    }
+
+    #[test]
+    fn heterogeneous_controller_allocates_per_class_moments() {
+        use psd_dist::Deterministic;
+        let m_fast = Deterministic::new(0.2).unwrap().moments();
+        let m_slow = Deterministic::new(2.0).unwrap().moments();
+        let mut c = HeterogeneousPsdController::new(
+            vec![1.0, 1.0],
+            vec![m_fast, m_slow],
+            ControllerParams::default(),
+        );
+        c.initial_rates(2);
+        // Equal arrival *rates*, but class 1's jobs are 10x larger: its
+        // raw requirement (and thus its rate) must dominate.
+        let r = c.reallocate(1000.0, &window(vec![200, 200], 1000.0)).unwrap();
+        assert!(r[1] > r[0], "bigger jobs need more capacity: {r:?}");
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Cross-check against the pure allocation.
+        let want = crate::allocation::psd_rates_heterogeneous(
+            &[0.2, 0.2],
+            &[1.0, 1.0],
+            &[m_fast, m_slow],
+        )
+        .unwrap();
+        for (a, b) in r.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divergent E[1/X]")]
+    fn heterogeneous_rejects_exponential_class() {
+        let good = BoundedPareto::paper_default().moments();
+        let bad = psd_dist::Exponential::new(1.0).unwrap().moments();
+        HeterogeneousPsdController::new(
+            vec![1.0, 2.0],
+            vec![good, bad],
+            ControllerParams::default(),
+        );
+    }
+}

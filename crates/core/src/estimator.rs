@@ -1,0 +1,120 @@
+//! The windowed load estimator (paper §4.1).
+//!
+//! "The load estimator measured the arrival rate and the incurred load
+//! for every class. … the load for the next thousand time units was the
+//! average load in the past five thousand time units." — i.e. the
+//! estimate is a moving average over the last `history` windows of the
+//! per-window measured arrival rates.
+
+/// Moving-average estimator of per-class arrival rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadEstimator {
+    n_classes: usize,
+    history: usize,
+    /// Ring buffer of the last `history` per-class rate observations.
+    window_rates: std::collections::VecDeque<Vec<f64>>,
+}
+
+impl LoadEstimator {
+    /// `history` = number of windows averaged (paper: 5).
+    pub fn new(n_classes: usize, history: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        assert!(history > 0, "history must be at least one window");
+        Self { n_classes, history, window_rates: std::collections::VecDeque::new() }
+    }
+
+    /// Number of windows currently held.
+    pub fn windows_seen(&self) -> usize {
+        self.window_rates.len()
+    }
+
+    /// Record the rates observed in the window that just closed.
+    pub fn observe(&mut self, rates: &[f64]) {
+        assert_eq!(rates.len(), self.n_classes, "class count mismatch");
+        if self.window_rates.len() == self.history {
+            self.window_rates.pop_front();
+        }
+        self.window_rates.push_back(rates.to_vec());
+    }
+
+    /// Current estimate: the average over held windows, or `None` before
+    /// any window has been observed.
+    pub fn estimate(&self) -> Option<Vec<f64>> {
+        if self.window_rates.is_empty() {
+            return None;
+        }
+        let mut acc = vec![0.0; self.n_classes];
+        for w in &self.window_rates {
+            for (a, &r) in acc.iter_mut().zip(w) {
+                *a += r;
+            }
+        }
+        let k = self.window_rates.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_has_no_estimate() {
+        let e = LoadEstimator::new(2, 5);
+        assert!(e.estimate().is_none());
+        assert_eq!(e.windows_seen(), 0);
+    }
+
+    #[test]
+    fn single_window_passthrough() {
+        let mut e = LoadEstimator::new(2, 5);
+        e.observe(&[1.0, 2.0]);
+        assert_eq!(e.estimate(), Some(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn averages_over_history() {
+        let mut e = LoadEstimator::new(1, 5);
+        for r in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            e.observe(&[r]);
+        }
+        assert_eq!(e.estimate(), Some(vec![3.0]));
+        assert_eq!(e.windows_seen(), 5);
+    }
+
+    #[test]
+    fn old_windows_evicted() {
+        let mut e = LoadEstimator::new(1, 3);
+        for r in [10.0, 1.0, 1.0, 1.0] {
+            e.observe(&[r]);
+        }
+        // The 10.0 fell out of the 3-window history.
+        assert_eq!(e.estimate(), Some(vec![1.0]));
+    }
+
+    #[test]
+    fn smooths_a_spike() {
+        let mut e = LoadEstimator::new(1, 5);
+        for _ in 0..4 {
+            e.observe(&[1.0]);
+        }
+        e.observe(&[6.0]); // transient burst
+        let est = e.estimate().unwrap()[0];
+        assert!((est - 2.0).abs() < 1e-12, "burst averaged down to {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn class_count_checked() {
+        LoadEstimator::new(2, 5).observe(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "history")]
+    fn zero_history_rejected() {
+        LoadEstimator::new(1, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-run experiment driver: replications, deterministic seed
+//! fan-out across threads, and the aggregate statistics the paper's
+//! figures are built from.
+//!
+//! The paper reports every point as "an average of 100 runs"; the
+//! driver reproduces that (with a configurable run count) and also
+//! pools per-window slowdown ratios across runs for the percentile
+//! plots (Figs 5/6).
+
+use std::thread;
+
+use psd_dist::rng::SplitMix64;
+use psd_dist::stats::percentile;
+
+use crate::config::PsdConfig;
+use crate::report::PsdReport;
+use crate::simulation::run_once;
+
+/// A replicated experiment over one [`PsdConfig`].
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: PsdConfig,
+    runs: u64,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl Experiment {
+    /// New experiment with defaults: 10 runs, seed 0, hardware threads.
+    pub fn new(config: PsdConfig) -> Self {
+        let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { config, runs: 10, base_seed: 0, threads }
+    }
+
+    /// Number of replications (the paper uses 100).
+    pub fn runs(mut self, runs: u64) -> Self {
+        assert!(runs > 0, "at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Root seed; run `k` uses `SplitMix64::derive(base_seed, k)`, so
+    /// results are identical regardless of thread count.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Cap the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self
+    }
+
+    /// Execute all runs and aggregate.
+    pub fn run(self) -> ExperimentReport {
+        let n_threads = self.threads.min(self.runs as usize).max(1);
+        let cfg = &self.config;
+        let base = self.base_seed;
+        let runs = self.runs;
+
+        let mut reports: Vec<Option<PsdReport>> = (0..runs).map(|_| None).collect();
+        if n_threads == 1 {
+            for (k, slot) in reports.iter_mut().enumerate() {
+                *slot = Some(run_once(cfg, SplitMix64::derive(base, k as u64)));
+            }
+        } else {
+            // Split the report slots into contiguous chunks, one batch of
+            // run indices per worker; seeds depend only on the run index.
+            let chunk = reports.len().div_ceil(n_threads);
+            let mut slices: Vec<(usize, &mut [Option<PsdReport>])> = Vec::new();
+            let mut rest = reports.as_mut_slice();
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                slices.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            thread::scope(|scope| {
+                for (offset, slice) in slices {
+                    scope.spawn(move || {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let k = (offset + i) as u64;
+                            *slot = Some(run_once(cfg, SplitMix64::derive(base, k)));
+                        }
+                    });
+                }
+            });
+        }
+
+        let runs: Vec<PsdReport> = reports.into_iter().map(|r| r.expect("all runs filled")).collect();
+        ExperimentReport { config: self.config, runs }
+    }
+}
+
+/// Aggregated results of the replications.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The configuration that produced this report.
+    pub config: PsdConfig,
+    /// One report per run, in run-index order.
+    pub runs: Vec<PsdReport>,
+}
+
+impl ExperimentReport {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.classes.len()
+    }
+
+    /// Per-class mean slowdown, averaged over runs (runs where a class
+    /// had no measured departures are skipped for that class).
+    pub fn mean_slowdowns(&self) -> Vec<f64> {
+        (0..self.num_classes())
+            .map(|i| {
+                let vals: Vec<f64> =
+                    self.runs.iter().filter_map(|r| r.classes[i].mean_slowdown).collect();
+                vals.iter().sum::<f64>() / vals.len().max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Eq. 18 predictions for the nominal loads (None if the model is
+    /// inapplicable).
+    pub fn expected_slowdowns(&self) -> Option<Vec<f64>> {
+        self.config.expected_slowdowns().ok()
+    }
+
+    /// System slowdown averaged over runs.
+    pub fn system_slowdown(&self) -> f64 {
+        let vals: Vec<f64> = self.runs.iter().filter_map(|r| r.system_slowdown).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Mean achieved slowdown ratio of class `i` vs class 0, averaged
+    /// over runs (paper Figs 9/10).
+    pub fn mean_ratio_vs_class0(&self, i: usize) -> f64 {
+        let vals: Vec<f64> = self.runs.iter().filter_map(|r| r.mean_ratio_vs_class0(i)).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Percentiles `(p5, p50, p95)` of the per-window slowdown ratio of
+    /// class `i` vs class 0, pooled across runs (paper Figs 5/6).
+    pub fn ratio_percentiles_vs_class0(&self, i: usize) -> Option<(f64, f64, f64)> {
+        let mut pooled: Vec<f64> = self
+            .runs
+            .iter()
+            .flat_map(|r| r.window_ratios_vs_class0[i].iter().copied())
+            .collect();
+        if pooled.is_empty() {
+            return None;
+        }
+        pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+        Some((
+            percentile(&pooled, 0.05).expect("non-empty"),
+            percentile(&pooled, 0.50).expect("non-empty"),
+            percentile(&pooled, 0.95).expect("non-empty"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsdConfig {
+        PsdConfig::equal_load(&[1.0, 2.0], 0.5).with_horizon(6_000.0, 1_000.0)
+    }
+
+    #[test]
+    fn thread_fanout_matches_sequential() {
+        let a = Experiment::new(cfg()).runs(4).base_seed(11).threads(1).run();
+        let b = Experiment::new(cfg()).runs(4).base_seed(11).threads(4).run();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra, rb, "parallel fan-out must not change results");
+        }
+    }
+
+    #[test]
+    fn aggregates_have_sane_shapes() {
+        let rep = Experiment::new(cfg()).runs(3).base_seed(5).run();
+        assert_eq!(rep.runs.len(), 3);
+        let s = rep.mean_slowdowns();
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!(rep.system_slowdown() > 0.0);
+        assert!(rep.expected_slowdowns().is_some());
+        let (p5, p50, p95) = rep.ratio_percentiles_vs_class0(1).unwrap();
+        assert!(p5 <= p50 && p50 <= p95);
+    }
+
+    #[test]
+    fn ratio_tracks_delta_with_enough_runs() {
+        // Per-run ratios of heavy-tailed means are noisy on short runs,
+        // so compare run-averaged class means (the Fig. 2 view) rather
+        // than the mean of per-run ratios.
+        let rep = Experiment::new(cfg()).runs(12).base_seed(1).run();
+        let s = rep.mean_slowdowns();
+        let ratio = s[1] / s[0];
+        assert!(
+            (1.2..4.0).contains(&ratio),
+            "δ2/δ1 = 2 should push the averaged ratio toward 2, got {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        Experiment::new(cfg()).runs(0);
+    }
+}

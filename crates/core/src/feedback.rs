@@ -1,0 +1,277 @@
+//! Feedback-augmented PSD controller — the paper's stated future work
+//! (§6: "improving the performance of the rate-allocation strategy in
+//! providing short-timescale differentiation predictability").
+//!
+//! The plain Eq. 17 controller is open loop: it acts "according to the
+//! macro-behavior (class load) of a class rather than its
+//! micro-behavior, such as experienced slowdowns of individual
+//! requests" (§4.3). This extension closes the loop: each window's
+//! *measured* per-class slowdowns are compared against the PSD target
+//! (all `S_i/δ_i` equal), and an integral correction tilts the residual
+//! capacity split toward classes running above target.
+//!
+//! Design:
+//!
+//! * base allocation: `r_i = ρ̂_i + residual · w_i / Σw_j` with
+//!   `w_i = (λ̂_i/δ_i)·exp(g·I_i)` where `I_i` is the anti-windup-clamped
+//!   integral of class `i`'s normalized-slowdown error;
+//! * error of a window: `e_i = (S_i/δ_i) / mean_j(S_j/δ_j) − 1`,
+//!   skipping classes with no departures;
+//! * `g = 0` reduces *exactly* to the open-loop Eq. 17 controller.
+
+use psd_desim::{RateController, WindowObservation};
+
+use crate::controller::ControllerParams;
+use crate::estimator::LoadEstimator;
+
+/// Tuning for the feedback extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackParams {
+    /// Open-loop (estimator/allocator) parameters.
+    pub base: ControllerParams,
+    /// Integral gain `g ≥ 0`; 0 disables the feedback path.
+    pub gain: f64,
+    /// Clamp on the integral term (anti-windup), in natural-log units of
+    /// residual-share tilt.
+    pub integral_clamp: f64,
+}
+
+impl Default for FeedbackParams {
+    fn default() -> Self {
+        Self { base: ControllerParams::default(), gain: 0.3, integral_clamp: 1.5 }
+    }
+}
+
+/// The closed-loop controller.
+#[derive(Debug, Clone)]
+pub struct FeedbackPsdController {
+    deltas: Vec<f64>,
+    mean_service: f64,
+    params: FeedbackParams,
+    estimator: LoadEstimator,
+    /// Integral of the normalized slowdown error per class.
+    integral: Vec<f64>,
+    nominal_lambdas: Option<Vec<f64>>,
+}
+
+impl FeedbackPsdController {
+    /// Build the controller.
+    pub fn new(deltas: Vec<f64>, mean_service: f64, params: FeedbackParams) -> Self {
+        assert!(!deltas.is_empty(), "at least one class");
+        assert!(deltas.iter().all(|&d| d.is_finite() && d > 0.0), "deltas must be positive");
+        assert!(mean_service.is_finite() && mean_service > 0.0, "bad mean service time");
+        assert!(params.gain >= 0.0 && params.gain.is_finite(), "gain must be >= 0");
+        assert!(params.integral_clamp > 0.0, "clamp must be positive");
+        let n = deltas.len();
+        let estimator = LoadEstimator::new(n, params.base.estimator_history);
+        Self { deltas, mean_service, params, estimator, integral: vec![0.0; n], nominal_lambdas: None }
+    }
+
+    /// Warm-start with nominal arrival rates (like the base controller).
+    pub fn with_nominal_lambdas(mut self, lambdas: Vec<f64>) -> Self {
+        assert_eq!(lambdas.len(), self.deltas.len(), "class count mismatch");
+        self.nominal_lambdas = Some(lambdas);
+        self
+    }
+
+    /// Current integral terms (for tests and monitoring).
+    pub fn integral_terms(&self) -> &[f64] {
+        &self.integral
+    }
+
+    fn update_integral(&mut self, window: &WindowObservation) {
+        let means = window.mean_slowdowns();
+        // Normalized slowdowns x_i = S_i/δ_i for classes with data.
+        let xs: Vec<Option<f64>> = means
+            .iter()
+            .zip(&self.deltas)
+            .map(|(m, d)| m.map(|s| s / d))
+            .collect();
+        let present: Vec<f64> = xs.iter().filter_map(|x| *x).collect();
+        if present.len() < 2 {
+            return; // no cross-class information in this window
+        }
+        let mean_x = present.iter().sum::<f64>() / present.len() as f64;
+        if mean_x <= 0.0 {
+            return;
+        }
+        let clamp = self.params.integral_clamp;
+        for (i, x) in xs.iter().enumerate() {
+            if let Some(x) = x {
+                let err = x / mean_x - 1.0;
+                // err > 0: class i is running slower than its entitlement
+                // ⇒ positive integral ⇒ more residual share.
+                self.integral[i] = (self.integral[i] + self.params.gain * err).clamp(-clamp, clamp);
+            }
+        }
+    }
+
+    fn allocate(&self, lambdas: &[f64]) -> Vec<f64> {
+        let n = self.deltas.len();
+        let rho: f64 = lambdas.iter().map(|l| l * self.mean_service).sum();
+        if rho >= 1.0 - self.params.base.overload_margin {
+            // Same overload fallback as the open-loop controller.
+            if rho == 0.0 {
+                return vec![1.0 / n as f64; n];
+            }
+            return lambdas.iter().map(|l| l * self.mean_service / rho).collect();
+        }
+        let weights: Vec<f64> = lambdas
+            .iter()
+            .zip(&self.deltas)
+            .zip(&self.integral)
+            .map(|((l, d), i)| l / d * i.exp())
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let residual = 1.0 - rho;
+        let mut rates: Vec<f64> = if wsum == 0.0 {
+            vec![1.0 / n as f64; n]
+        } else {
+            lambdas
+                .iter()
+                .zip(&weights)
+                .map(|(l, w)| l * self.mean_service + residual * w / wsum)
+                .collect()
+        };
+        // Floor + renormalize (same contract as psd_rates_clamped).
+        let min_rate = self.params.base.min_rate;
+        if min_rate > 0.0 {
+            let mut sum = 0.0;
+            for r in &mut rates {
+                *r = r.max(min_rate);
+                sum += *r;
+            }
+            for r in &mut rates {
+                *r /= sum;
+            }
+        }
+        rates
+    }
+}
+
+impl RateController for FeedbackPsdController {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        assert_eq!(n_classes, self.deltas.len(), "class count mismatch");
+        match &self.nominal_lambdas {
+            Some(l) => {
+                let l = l.clone();
+                self.allocate(&l)
+            }
+            None => vec![1.0 / n_classes as f64; n_classes],
+        }
+    }
+
+    fn reallocate(&mut self, _now: f64, window: &WindowObservation) -> Option<Vec<f64>> {
+        self.update_integral(window);
+        self.estimator.observe(&window.arrival_rates());
+        let est = self.estimator.estimate().expect("just observed a window");
+        Some(self.allocate(&est))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::psd_rates_clamped;
+
+    fn window_with_slowdowns(arrivals: Vec<u64>, slowdowns: Vec<Option<f64>>) -> WindowObservation {
+        let n = arrivals.len();
+        let completions: Vec<u64> = slowdowns.iter().map(|s| if s.is_some() { 10 } else { 0 }).collect();
+        let slowdown_sums: Vec<f64> =
+            slowdowns.iter().map(|s| s.map_or(0.0, |x| x * 10.0)).collect();
+        WindowObservation {
+            index: 0,
+            start: 0.0,
+            end: 1000.0,
+            arrivals,
+            arrived_work: vec![0.0; n],
+            completions,
+            backlog: vec![0; n],
+            slowdown_sums,
+        }
+    }
+
+    #[test]
+    fn zero_gain_reduces_to_open_loop() {
+        let ex = 0.29;
+        let params = FeedbackParams { gain: 0.0, ..Default::default() };
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0], ex, params);
+        fb.initial_rates(2);
+        // Window where class 1 is far above its entitlement — must be
+        // ignored at gain 0.
+        let w = window_with_slowdowns(vec![500, 500], vec![Some(1.0), Some(9.0)]);
+        let got = fb.reallocate(1000.0, &w).unwrap();
+        let want = psd_rates_clamped(&[0.5, 0.5], &[1.0, 2.0], ex, 1e-4, 0.02).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "gain 0 must match Eq.17: {got:?} vs {want:?}");
+        }
+        assert!(fb.integral_terms().iter().all(|&i| i == 0.0));
+    }
+
+    #[test]
+    fn lagging_class_gains_share() {
+        let ex = 0.29;
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0], ex, FeedbackParams::default());
+        fb.initial_rates(2);
+        // Class 1's normalized slowdown (9/2 = 4.5) far exceeds class
+        // 0's (1.0): the controller should raise class 1's share
+        // relative to the open-loop split.
+        let w = window_with_slowdowns(vec![500, 500], vec![Some(1.0), Some(9.0)]);
+        let got = fb.reallocate(1000.0, &w).unwrap();
+        let open = psd_rates_clamped(&[0.5, 0.5], &[1.0, 2.0], ex, 1e-4, 0.02).unwrap();
+        assert!(got[1] > open[1], "feedback must boost the lagging class: {got:?} vs {open:?}");
+        assert!(fb.integral_terms()[1] > 0.0);
+        assert!(fb.integral_terms()[0] < 0.0);
+    }
+
+    #[test]
+    fn integral_clamped() {
+        let ex = 0.29;
+        let params = FeedbackParams { gain: 10.0, integral_clamp: 0.5, ..Default::default() };
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0], ex, params);
+        fb.initial_rates(2);
+        for _ in 0..50 {
+            let w = window_with_slowdowns(vec![500, 500], vec![Some(1.0), Some(99.0)]);
+            fb.reallocate(1000.0, &w);
+        }
+        assert!(fb.integral_terms()[1] <= 0.5 + 1e-12, "anti-windup clamp");
+        assert!(fb.integral_terms()[0] >= -0.5 - 1e-12);
+    }
+
+    #[test]
+    fn empty_window_leaves_integral_untouched() {
+        let ex = 0.29;
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0], ex, FeedbackParams::default());
+        fb.initial_rates(2);
+        let w = window_with_slowdowns(vec![0, 500], vec![None, Some(3.0)]);
+        fb.reallocate(1000.0, &w);
+        assert_eq!(fb.integral_terms(), &[0.0, 0.0], "needs two classes with data");
+    }
+
+    #[test]
+    fn rates_always_sum_to_one() {
+        let ex = 0.29;
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0, 3.0], ex, FeedbackParams::default());
+        fb.initial_rates(3);
+        for round in 0..20 {
+            let w = window_with_slowdowns(
+                vec![300 + round * 10, 200, 100],
+                vec![Some(1.0 + round as f64), Some(2.0), Some(7.0)],
+            );
+            let r = fb.reallocate(1000.0, &w).unwrap();
+            let sum: f64 = r.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "round {round}: sum {sum}");
+            assert!(r.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn overload_fallback_engages() {
+        let ex = 0.5;
+        let mut fb = FeedbackPsdController::new(vec![1.0, 2.0], ex, FeedbackParams::default());
+        fb.initial_rates(2);
+        let w = window_with_slowdowns(vec![3000, 3000], vec![Some(5.0), Some(10.0)]);
+        let r = fb.reallocate(1000.0, &w).unwrap();
+        assert!((r[0] - 0.5).abs() < 1e-9, "load-proportional under overload: {r:?}");
+    }
+}

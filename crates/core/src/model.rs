@@ -1,0 +1,279 @@
+//! The PSD model (paper Eqs. 16 & 18) and its predictability /
+//! controllability properties.
+//!
+//! Under the Eq. 17 allocation the expected slowdown of class `i` is
+//!
+//! ```text
+//! E[S_i] = δ_i · Λ · E[X²]·E[1/X] / (2(1 − ρ)),    Λ = Σ_j λ_j/δ_j
+//! ```
+//!
+//! so the ratio between any two classes is exactly `δ_i/δ_j` (Eq. 16),
+//! independent of the class loads. The paper derives three properties
+//! from this form (§3); each is verified by a test below:
+//!
+//! 1. a class's slowdown increases with its own arrival rate;
+//! 2. increasing `δ_i` raises class `i`'s slowdown and lowers everyone
+//!    else's;
+//! 3. extra load on a *higher* class (smaller δ) hurts every class more
+//!    than the same extra load on a lower class.
+
+use crate::allocation::{psd_rates, AllocationError};
+use psd_dist::Moments;
+use psd_queueing::AnalysisError;
+
+/// The PSD model for a fixed set of classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdModel {
+    deltas: Vec<f64>,
+    moments: Moments,
+}
+
+/// Errors from model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Propagated allocation failure.
+    Allocation(AllocationError),
+    /// Propagated queueing-analysis failure (e.g. `E[1/X]` divergent).
+    Analysis(AnalysisError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Allocation(e) => write!(f, "{e}"),
+            ModelError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<AllocationError> for ModelError {
+    fn from(e: AllocationError) -> Self {
+        ModelError::Allocation(e)
+    }
+}
+
+impl From<AnalysisError> for ModelError {
+    fn from(e: AnalysisError) -> Self {
+        ModelError::Analysis(e)
+    }
+}
+
+impl PsdModel {
+    /// Build a model from differentiation parameters and full-rate
+    /// service moments.
+    ///
+    /// Fails when `E[1/X]` diverges ([`AnalysisError::SlowdownUndefined`]) or
+    /// `E[X²]` is infinite — the closed form then does not exist.
+    pub fn new(deltas: &[f64], moments: Moments) -> Result<Self, ModelError> {
+        if deltas.is_empty() {
+            return Err(ModelError::Allocation(AllocationError::InvalidInput {
+                reason: "at least one class required".into(),
+            }));
+        }
+        for (i, &d) in deltas.iter().enumerate() {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(ModelError::Allocation(AllocationError::InvalidInput {
+                    reason: format!("delta of class {i} must be finite and > 0, got {d}"),
+                }));
+            }
+        }
+        if moments.mean_inverse.is_none() {
+            return Err(ModelError::Analysis(AnalysisError::SlowdownUndefined));
+        }
+        if moments.second_moment.is_infinite() {
+            return Err(ModelError::Analysis(AnalysisError::InfiniteMoment { which: "E[X^2]" }));
+        }
+        Ok(Self { deltas: deltas.to_vec(), moments })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Differentiation parameters.
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Service-time moments at full machine rate.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The Eq. 17 rate vector for the given arrival rates.
+    pub fn rates(&self, lambdas: &[f64]) -> Result<Vec<f64>, ModelError> {
+        Ok(psd_rates(lambdas, &self.deltas, self.moments.mean)?)
+    }
+
+    /// Expected per-class slowdowns under the allocation (paper Eq. 18).
+    pub fn expected_slowdowns(&self, lambdas: &[f64]) -> Result<Vec<f64>, ModelError> {
+        if lambdas.len() != self.deltas.len() {
+            return Err(ModelError::Allocation(AllocationError::InvalidInput {
+                reason: format!("{} lambdas for {} classes", lambdas.len(), self.deltas.len()),
+            }));
+        }
+        let rho: f64 = lambdas.iter().map(|l| l * self.moments.mean).sum();
+        if rho >= 1.0 {
+            return Err(ModelError::Allocation(AllocationError::Infeasible { total_load: rho }));
+        }
+        let big_lambda: f64 = lambdas.iter().zip(&self.deltas).map(|(l, d)| l / d).sum();
+        let mi = self.moments.mean_inverse.expect("checked in new()");
+        let base = big_lambda * self.moments.second_moment * mi / (2.0 * (1.0 - rho));
+        Ok(self.deltas.iter().map(|d| d * base).collect())
+    }
+
+    /// Eq. 16 check: the model-predicted slowdown ratio of class `i` to
+    /// class `j` (always exactly `δ_i/δ_j`).
+    pub fn expected_ratio(&self, i: usize, j: usize) -> f64 {
+        self.deltas[i] / self.deltas[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_dist::{
+        BoundedPareto, Deterministic, Exponential, Pareto, ServiceDistribution,
+    };
+    use psd_queueing::TaskServerQueue;
+
+    fn bp_model(deltas: &[f64]) -> PsdModel {
+        PsdModel::new(deltas, BoundedPareto::paper_default().moments()).unwrap()
+    }
+
+    fn equal_lambdas(model: &PsdModel, total_load: f64) -> Vec<f64> {
+        let n = model.num_classes() as f64;
+        vec![total_load / (n * model.moments().mean); model.num_classes()]
+    }
+
+    #[test]
+    fn ratios_equal_delta_ratios() {
+        let m = bp_model(&[1.0, 2.0, 3.0]);
+        let l = equal_lambdas(&m, 0.7);
+        let s = m.expected_slowdowns(&l).unwrap();
+        assert!((s[1] / s[0] - 2.0).abs() < 1e-12);
+        assert!((s[2] / s[0] - 3.0).abs() < 1e-12);
+        assert_eq!(m.expected_ratio(2, 0), 3.0);
+    }
+
+    /// Eq. 18 must agree with pushing the Eq. 17 rates through the
+    /// Theorem 1 per-task-server analysis — the model is self-consistent.
+    #[test]
+    fn eq18_consistent_with_theorem1() {
+        let m = bp_model(&[1.0, 4.0]);
+        let lambdas = equal_lambdas(&m, 0.6);
+        let rates = m.rates(&lambdas).unwrap();
+        let s_model = m.expected_slowdowns(&lambdas).unwrap();
+        for i in 0..2 {
+            let s_q = TaskServerQueue::new(lambdas[i], rates[i], *m.moments())
+                .unwrap()
+                .expected_slowdown()
+                .unwrap();
+            assert!(
+                (s_model[i] - s_q).abs() / s_q < 1e-10,
+                "class {i}: Eq18 {} vs Thm1 {s_q}",
+                s_model[i]
+            );
+        }
+    }
+
+    /// Paper property 1: slowdown increases with the class arrival rate.
+    #[test]
+    fn property1_monotone_in_own_load() {
+        let m = bp_model(&[1.0, 2.0]);
+        let ex = m.moments().mean;
+        let s_low = m.expected_slowdowns(&[0.2 / ex, 0.2 / ex]).unwrap();
+        let s_high = m.expected_slowdowns(&[0.3 / ex, 0.2 / ex]).unwrap();
+        assert!(s_high[0] > s_low[0]);
+        assert!(s_high[1] > s_low[1], "everyone shares the pain");
+    }
+
+    /// Paper property 2: raising δ_i raises E[S_i] and lowers E[S_j].
+    #[test]
+    fn property2_delta_controllability() {
+        let moments = BoundedPareto::paper_default().moments();
+        let ex = moments.mean;
+        let lambdas = [0.3 / ex, 0.3 / ex];
+        let before = PsdModel::new(&[1.0, 2.0], moments)
+            .unwrap()
+            .expected_slowdowns(&lambdas)
+            .unwrap();
+        let after = PsdModel::new(&[1.0, 4.0], moments)
+            .unwrap()
+            .expected_slowdowns(&lambdas)
+            .unwrap();
+        assert!(after[1] > before[1], "its own slowdown increases");
+        assert!(after[0] < before[0], "the other class improves");
+    }
+
+    /// Paper property 3: extra load on the higher class (smaller δ)
+    /// raises slowdowns more than the same extra load on a lower class.
+    #[test]
+    fn property3_higher_class_load_hurts_more() {
+        let m = bp_model(&[1.0, 2.0]);
+        let ex = m.moments().mean;
+        let base = [0.2 / ex, 0.2 / ex];
+        let bump = 0.1 / ex;
+        let s_hi = m.expected_slowdowns(&[base[0] + bump, base[1]]).unwrap();
+        let s_lo = m.expected_slowdowns(&[base[0], base[1] + bump]).unwrap();
+        // Compare the impact on class 0 (and by proportionality, on all).
+        assert!(
+            s_hi[0] > s_lo[0],
+            "load on class 1 (δ=1) should hurt more: {} vs {}",
+            s_hi[0],
+            s_lo[0]
+        );
+    }
+
+    #[test]
+    fn md1_model_reduction() {
+        // Deterministic service: E[X²]·E[1/X] = d²·(1/d) = d, so
+        // E[S_i] = δ_i·Λ·d/(2(1−ρ)).
+        let d = Deterministic::new(2.0).unwrap();
+        let m = PsdModel::new(&[1.0, 2.0], d.moments()).unwrap();
+        let lambdas = [0.1, 0.1];
+        let s = m.expected_slowdowns(&lambdas).unwrap();
+        let big_lambda = 0.1 / 1.0 + 0.1 / 2.0;
+        let rho = 0.4;
+        let want0 = 1.0 * big_lambda * 2.0 / (2.0 * (1.0 - rho));
+        assert!((s[0] - want0).abs() < 1e-12);
+        assert!((s[1] - 2.0 * want0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_service_rejected() {
+        let e = Exponential::new(1.0).unwrap();
+        let err = PsdModel::new(&[1.0, 2.0], e.moments()).unwrap_err();
+        assert!(matches!(err, ModelError::Analysis(AnalysisError::SlowdownUndefined)));
+    }
+
+    #[test]
+    fn unbounded_pareto_rejected() {
+        let p = Pareto::new(1.5, 0.1).unwrap(); // E[X²] = ∞
+        let err = PsdModel::new(&[1.0], p.moments()).unwrap_err();
+        assert!(matches!(err, ModelError::Analysis(AnalysisError::InfiniteMoment { .. })));
+    }
+
+    #[test]
+    fn overload_rejected() {
+        let m = bp_model(&[1.0, 2.0]);
+        let l = equal_lambdas(&m, 1.1);
+        assert!(matches!(
+            m.expected_slowdowns(&l),
+            Err(ModelError::Allocation(AllocationError::Infeasible { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let moments = BoundedPareto::paper_default().moments();
+        assert!(PsdModel::new(&[], moments).is_err());
+        assert!(PsdModel::new(&[0.0], moments).is_err());
+        assert!(PsdModel::new(&[-1.0], moments).is_err());
+        let m = PsdModel::new(&[1.0, 2.0], moments).unwrap();
+        assert!(m.expected_slowdowns(&[0.1]).is_err(), "length mismatch");
+    }
+}

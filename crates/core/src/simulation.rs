@@ -1,0 +1,126 @@
+//! Single-run façade: configure, simulate, report.
+
+use psd_desim::{RateController, SimOutput, Simulation};
+
+use crate::config::PsdConfig;
+use crate::report::{ClassReport, PsdReport};
+
+/// Run one simulation of `cfg` with the PSD controller and seed `seed`.
+pub fn run_once(cfg: &PsdConfig, seed: u64) -> PsdReport {
+    let controller = Box::new(cfg.controller());
+    run_with_controller(cfg, seed, controller)
+}
+
+/// Run one simulation of `cfg` under an arbitrary controller (used by
+/// the baseline comparisons and ablations).
+pub fn run_with_controller(
+    cfg: &PsdConfig,
+    seed: u64,
+    controller: Box<dyn RateController>,
+) -> PsdReport {
+    let out = Simulation::new(cfg.sim_config(seed), controller).run();
+    summarize(cfg, seed, out)
+}
+
+fn summarize(cfg: &PsdConfig, seed: u64, out: SimOutput) -> PsdReport {
+    let expected = cfg.expected_slowdowns().ok();
+    let n = cfg.classes.len();
+    let classes = (0..n)
+        .map(|i| ClassReport {
+            delta: cfg.classes[i].delta,
+            load: cfg.classes[i].load,
+            mean_slowdown: out.mean_slowdown(i),
+            expected_slowdown: expected.as_ref().map(|e| e[i]),
+            mean_delay: out.per_class[i].mean_delay(),
+            completed: out.per_class[i].completed,
+        })
+        .collect();
+    let window_ratios_vs_class0 =
+        (0..n).map(|i| if i == 0 { Vec::new() } else { out.window_ratios(i, 0) }).collect();
+    PsdReport {
+        seed,
+        classes,
+        system_slowdown: out.system_slowdown(),
+        window_ratios_vs_class0,
+        trace: out.trace.iter().map(|t| (t.class, t.departure, t.slowdown)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::EqualShare;
+    use crate::config::PsdConfig;
+
+    fn short_cfg() -> PsdConfig {
+        PsdConfig::equal_load(&[1.0, 2.0], 0.6).with_horizon(8_000.0, 1_000.0)
+    }
+
+    #[test]
+    fn psd_run_produces_full_report() {
+        let r = run_once(&short_cfg(), 42);
+        assert_eq!(r.classes.len(), 2);
+        assert!(r.classes.iter().all(|c| c.completed > 100));
+        assert!(r.classes.iter().all(|c| c.mean_slowdown.is_some()));
+        assert!(r.classes.iter().all(|c| c.expected_slowdown.is_some()));
+        assert!(r.system_slowdown.is_some());
+        assert!(!r.window_ratios_vs_class0[1].is_empty());
+        assert!(r.window_ratios_vs_class0[0].is_empty());
+    }
+
+    #[test]
+    fn psd_differentiates_in_the_right_direction() {
+        // One short run is noisy; average a few seeds.
+        let cfg = short_cfg();
+        let (mut s0, mut s1) = (0.0, 0.0);
+        let runs = 8;
+        for seed in 0..runs {
+            let r = run_once(&cfg, seed);
+            s0 += r.classes[0].mean_slowdown.unwrap();
+            s1 += r.classes[1].mean_slowdown.unwrap();
+        }
+        assert!(
+            s1 > 1.3 * s0,
+            "class 1 (δ=2) should see distinctly higher slowdown: {s0} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn equal_share_does_not_differentiate() {
+        let cfg = short_cfg();
+        let (mut s0, mut s1) = (0.0, 0.0);
+        for seed in 0..8 {
+            let r = run_with_controller(&cfg, seed, Box::new(EqualShare));
+            s0 += r.classes[0].mean_slowdown.unwrap();
+            s1 += r.classes[1].mean_slowdown.unwrap();
+        }
+        let ratio = s1 / s0;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "equal classes under equal shares should be similar, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = short_cfg();
+        let a = run_once(&cfg, 7);
+        let b = run_once(&cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_collection_plumbs_through() {
+        let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.5)
+            .with_horizon(4_000.0, 500.0)
+            .with_trace(3_000.0, 4_000.0);
+        let r = run_once(&cfg, 3);
+        assert!(!r.trace.is_empty());
+        let ex = psd_dist::ServiceDistribution::mean(&cfg.service);
+        for &(class, t, s) in &r.trace {
+            assert!(class < 2);
+            assert!(t >= 3_000.0 * ex && t < 4_000.0 * ex);
+            assert!(s >= 0.0);
+        }
+    }
+}

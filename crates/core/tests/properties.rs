@@ -1,0 +1,149 @@
+//! Property-based tests of the PSD allocation and model: Eq. 17's
+//! invariants over randomized class counts, loads and differentiation
+//! parameters.
+
+use proptest::prelude::*;
+use psd_core::allocation::{psd_rates, psd_rates_clamped, AllocationError};
+use psd_core::estimator::LoadEstimator;
+use psd_core::model::PsdModel;
+use psd_dist::{BoundedPareto, ServiceDistribution};
+
+/// Random class systems: (deltas, per-class loads) with total load < 1.
+fn class_system() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.2f64..16.0, n),
+            proptest::collection::vec(0.01f64..1.0, n),
+        )
+            .prop_map(|(deltas, raw)| {
+                let total: f64 = raw.iter().sum();
+                // Normalize to a random total load in (0.05, 0.95).
+                let target = 0.05 + 0.9 * (total - total.floor()).abs().min(0.9);
+                let loads: Vec<f64> = raw.iter().map(|r| r / total * target).collect();
+                (deltas, loads)
+            })
+    })
+}
+
+fn moments() -> psd_dist::Moments {
+    BoundedPareto::paper_default().moments()
+}
+
+proptest! {
+    /// Eq. 17 rates always sum to exactly 1 and exceed each class's raw
+    /// requirement (local stability).
+    #[test]
+    fn rates_partition_capacity((deltas, loads) in class_system()) {
+        let m = moments();
+        let lambdas: Vec<f64> = loads.iter().map(|l| l / m.mean).collect();
+        let rates = psd_rates(&lambdas, &deltas, m.mean).unwrap();
+        let sum: f64 = rates.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        for ((&r, &l), &load) in rates.iter().zip(&lambdas).zip(&loads) {
+            prop_assert!(r > l * m.mean - 1e-12, "rate {r} below requirement {load}");
+        }
+    }
+
+    /// The achieved model ratios are exactly the delta ratios, for any
+    /// loads (the defining Eq. 16 property — *load independence*).
+    #[test]
+    fn ratios_are_load_independent((deltas, loads) in class_system()) {
+        let m = moments();
+        let lambdas: Vec<f64> = loads.iter().map(|l| l / m.mean).collect();
+        let model = PsdModel::new(&deltas, m).unwrap();
+        let s = model.expected_slowdowns(&lambdas).unwrap();
+        for i in 1..deltas.len() {
+            let want = deltas[i] / deltas[0];
+            let got = s[i] / s[0];
+            prop_assert!((got - want).abs() < 1e-9 * want.max(1.0), "class {i}: {got} vs {want}");
+        }
+    }
+
+    /// Scaling every delta by a constant changes nothing (only ratios
+    /// matter — the paper's controllability knob is relative).
+    #[test]
+    fn delta_scale_invariance((deltas, loads) in class_system(), scale in 0.1f64..10.0) {
+        let m = moments();
+        let lambdas: Vec<f64> = loads.iter().map(|l| l / m.mean).collect();
+        let r1 = psd_rates(&lambdas, &deltas, m.mean).unwrap();
+        let scaled: Vec<f64> = deltas.iter().map(|d| d * scale).collect();
+        let r2 = psd_rates(&lambdas, &scaled, m.mean).unwrap();
+        for (a, b) in r1.iter().zip(&r2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Clamped allocation is total (never errors) for any non-negative
+    /// load level, sums to 1, and respects the floor.
+    #[test]
+    fn clamped_allocation_is_total(
+        (deltas, loads) in class_system(),
+        overload_factor in 0.1f64..3.0,
+        min_rate in 0.0f64..0.01,
+    ) {
+        let m = moments();
+        let lambdas: Vec<f64> = loads.iter().map(|l| l * overload_factor / m.mean).collect();
+        let rates = psd_rates_clamped(&lambdas, &deltas, m.mean, min_rate, 0.02).unwrap();
+        let sum: f64 = rates.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        for &r in &rates {
+            prop_assert!(r >= min_rate - 1e-12, "floor violated: {r} < {min_rate}");
+        }
+    }
+
+    /// Infeasible loads are rejected by the strict allocator with the
+    /// correct total in the error.
+    #[test]
+    fn infeasible_detected((deltas, loads) in class_system(), excess in 1.0f64..3.0) {
+        let m = moments();
+        let total: f64 = loads.iter().sum();
+        let factor = excess / total; // pushes ρ to exactly `excess` ≥ 1
+        let lambdas: Vec<f64> = loads.iter().map(|l| l * factor / m.mean).collect();
+        match psd_rates(&lambdas, &deltas, m.mean) {
+            Err(AllocationError::Infeasible { total_load }) => {
+                prop_assert!((total_load - excess).abs() < 1e-6);
+            }
+            other => prop_assert!(false, "expected Infeasible, got {other:?}"),
+        }
+    }
+
+    /// Property 2 (controllability), model-wide: raising one δ lowers
+    /// every *other* class's expected slowdown.
+    #[test]
+    fn raising_delta_helps_others((deltas, loads) in class_system(), victim in 0usize..6, bump in 1.1f64..4.0) {
+        let m = moments();
+        let victim = victim % deltas.len();
+        let lambdas: Vec<f64> = loads.iter().map(|l| l / m.mean).collect();
+        let before = PsdModel::new(&deltas, m).unwrap().expected_slowdowns(&lambdas).unwrap();
+        let mut bumped = deltas.clone();
+        bumped[victim] *= bump;
+        let after = PsdModel::new(&bumped, m).unwrap().expected_slowdowns(&lambdas).unwrap();
+        for i in 0..deltas.len() {
+            if i == victim {
+                prop_assert!(after[i] > before[i] - 1e-12, "victim's slowdown rises");
+            } else {
+                prop_assert!(after[i] < before[i] + 1e-12, "others improve: {} -> {}", before[i], after[i]);
+            }
+        }
+    }
+
+    /// The estimator output is always inside the min/max envelope of its
+    /// history window (it is a mean).
+    #[test]
+    fn estimator_within_envelope(
+        windows in proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, 3), 1..12),
+        history in 1usize..8,
+    ) {
+        let mut e = LoadEstimator::new(3, history);
+        for w in &windows {
+            e.observe(w);
+        }
+        let est = e.estimate().unwrap();
+        let held = &windows[windows.len().saturating_sub(history)..];
+        for c in 0..3 {
+            let min = held.iter().map(|w| w[c]).fold(f64::INFINITY, f64::min);
+            let max = held.iter().map(|w| w[c]).fold(0.0f64, f64::max);
+            prop_assert!(est[c] >= min - 1e-9 && est[c] <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The event heap: a binary min-heap on `(time, sequence)` so that
+//! simultaneous events fire in a deterministic (insertion) order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator event kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Next arrival of the given class is due.
+    Arrival {
+        /// Class index.
+        class: usize,
+    },
+    /// The request in service at the given class's task server finishes —
+    /// valid only if the server's completion epoch still equals `epoch`
+    /// (rate changes bump the epoch, invalidating stale completions).
+    Completion {
+        /// Class index.
+        class: usize,
+        /// Epoch stamp at scheduling time.
+        epoch: u64,
+    },
+    /// Periodic control tick: close the observation window, run the rate
+    /// controller, re-arm.
+    Control,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    event: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on sequence for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list over any event payload type.
+#[derive(Debug)]
+pub struct EventQueue<T = Event> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: f64, event: T) {
+        debug_assert!(time.is_finite(), "event scheduled at non-finite time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    #[cfg_attr(not(test), allow(dead_code))] // introspection used by tests
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, Event::Control);
+        q.schedule(1.0, Event::Arrival { class: 0 });
+        q.schedule(2.0, Event::Arrival { class: 1 });
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, Event::Arrival { class: 7 });
+        q.schedule(5.0, Event::Arrival { class: 8 });
+        q.schedule(5.0, Event::Control);
+        match q.pop().unwrap().1 {
+            Event::Arrival { class } => assert_eq!(class, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        match q.pop().unwrap().1 {
+            Event::Arrival { class } => assert_eq!(class, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.pop().unwrap().1, Event::Control);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1.5, Event::Control);
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Open-loop request generators: one per class, pairing an arrival
+//! process with a service-size distribution.
+
+use psd_dist::arrival::{ArrivalProcess, DeterministicArrivals, Mmpp2, PoissonProcess, StepPoisson};
+use psd_dist::rng::Xoshiro256pp;
+use psd_dist::{ServiceDist, ServiceDistribution};
+
+use crate::request::Request;
+
+/// Declarative arrival-process choice for a class (kept as a spec so
+/// simulation configs are clonable and serializable upstream).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Poisson arrivals at the given rate — the paper's traffic model.
+    Poisson {
+        /// Arrival rate (requests per time unit).
+        rate: f64,
+    },
+    /// Evenly spaced arrivals (for exact-answer tests).
+    Deterministic {
+        /// Gap between consecutive arrivals.
+        interval: f64,
+    },
+    /// Bursty 2-state MMPP (estimator stress tests).
+    Bursty {
+        /// Long-run mean arrival rate.
+        mean_rate: f64,
+        /// Peak-to-mean rate ratio, ≥ 1.
+        burstiness: f64,
+        /// Mean sojourn time per modulating state.
+        sojourn: f64,
+    },
+    /// A load step: Poisson at `rate_before` until `switch_at`, then at
+    /// `rate_after` (controller-adaptivity experiments).
+    Step {
+        /// Arrival rate before the step.
+        rate_before: f64,
+        /// Arrival rate after the step.
+        rate_after: f64,
+        /// Absolute simulation time of the step.
+        switch_at: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Long-run mean arrival rate of the spec.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalSpec::Poisson { rate } => *rate,
+            ArrivalSpec::Deterministic { interval } => 1.0 / interval,
+            ArrivalSpec::Bursty { mean_rate, .. } => *mean_rate,
+            ArrivalSpec::Step { rate_after, .. } => *rate_after,
+        }
+    }
+
+    fn build(&self) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalSpec::Poisson { rate } => {
+                Box::new(PoissonProcess::new(*rate).expect("validated by SimConfig"))
+            }
+            ArrivalSpec::Deterministic { interval } => {
+                Box::new(DeterministicArrivals::new(*interval).expect("validated by SimConfig"))
+            }
+            ArrivalSpec::Bursty { mean_rate, burstiness, sojourn } => {
+                Box::new(Mmpp2::bursty(*mean_rate, *burstiness, *sojourn).expect("validated by SimConfig"))
+            }
+            ArrivalSpec::Step { rate_before, rate_after, switch_at } => Box::new(
+                StepPoisson::new(*rate_before, *rate_after, *switch_at)
+                    .expect("validated by SimConfig"),
+            ),
+        }
+    }
+}
+
+/// Stateful per-class generator: produces the class's request stream.
+pub struct Generator {
+    class: usize,
+    arrivals: Box<dyn ArrivalProcess>,
+    service: ServiceDist,
+    rng: Xoshiro256pp,
+    next_time: f64,
+}
+
+impl Generator {
+    /// Build a generator for `class` seeded with `seed`.
+    pub fn new(class: usize, spec: &ArrivalSpec, service: ServiceDist, seed: u64) -> Self {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let mut arrivals = spec.build();
+        let first = arrivals.next_interarrival(&mut rng);
+        Self { class, arrivals, service, rng, next_time: first }
+    }
+
+    /// Time of the next arrival.
+    pub fn next_arrival_time(&self) -> f64 {
+        self.next_time
+    }
+
+    /// Emit the arrival due now (caller guarantees the clock equals
+    /// [`Self::next_arrival_time`]) and advance the stream. `id` is the
+    /// global request id to assign.
+    pub fn emit(&mut self, id: u64) -> Request {
+        let arrival = self.next_time;
+        let size = self.service.sample(&mut self.rng);
+        self.next_time += self.arrivals.next_interarrival(&mut self.rng);
+        Request { id, class: self.class, size, arrival }
+    }
+}
+
+impl std::fmt::Debug for Generator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generator")
+            .field("class", &self.class)
+            .field("next_time", &self.next_time)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let spec = ArrivalSpec::Deterministic { interval: 2.0 };
+        let service = ServiceDist::paper_default();
+        let mut g = Generator::new(0, &spec, service, 42);
+        assert_eq!(g.next_arrival_time(), 2.0);
+        let r = g.emit(0);
+        assert_eq!(r.arrival, 2.0);
+        assert_eq!(g.next_arrival_time(), 4.0);
+        let r = g.emit(1);
+        assert_eq!(r.arrival, 4.0);
+        assert_eq!(r.id, 1);
+    }
+
+    #[test]
+    fn poisson_rate_empirical() {
+        let spec = ArrivalSpec::Poisson { rate: 5.0 };
+        let mut g = Generator::new(0, &spec, ServiceDist::paper_default(), 7);
+        let mut last = 0.0;
+        let n = 100_000;
+        for i in 0..n {
+            let r = g.emit(i);
+            assert!(r.arrival > last);
+            last = r.arrival;
+        }
+        let rate = n as f64 / last;
+        assert!((rate - 5.0).abs() / 5.0 < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = ArrivalSpec::Poisson { rate: 1.0 };
+        let mut a = Generator::new(0, &spec, ServiceDist::paper_default(), 13);
+        let mut b = Generator::new(0, &spec, ServiceDist::paper_default(), 13);
+        for i in 0..100 {
+            let (ra, rb) = (a.emit(i), b.emit(i));
+            assert_eq!(ra.arrival, rb.arrival);
+            assert_eq!(ra.size, rb.size);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = ArrivalSpec::Poisson { rate: 1.0 };
+        let mut a = Generator::new(0, &spec, ServiceDist::paper_default(), 13);
+        let mut b = Generator::new(0, &spec, ServiceDist::paper_default(), 14);
+        assert_ne!(a.emit(0).arrival, b.emit(0).arrival);
+    }
+
+    #[test]
+    fn spec_mean_rates() {
+        assert_eq!(ArrivalSpec::Poisson { rate: 2.0 }.mean_rate(), 2.0);
+        assert_eq!(ArrivalSpec::Deterministic { interval: 0.5 }.mean_rate(), 2.0);
+        assert_eq!(
+            ArrivalSpec::Bursty { mean_rate: 3.0, burstiness: 2.0, sojourn: 10.0 }.mean_rate(),
+            3.0
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Measurement: per-class windowed slowdown statistics, overall
+//! accumulators, and the final [`SimOutput`] report.
+//!
+//! The paper measures "the slowdown of a class ... for every thousand
+//! time units" after a warm-up period; Figures 5/6 then take percentiles
+//! of the *per-window slowdown ratios*. We therefore keep, per class,
+//! the exact sequence of window means alongside whole-run accumulators.
+
+use crate::request::CompletedRequest;
+use crate::trace::TraceRecord;
+use psd_dist::stats::Welford;
+
+/// Mean slowdown of one class over one measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStat {
+    /// Window index (0-based over the *measurement* period).
+    pub index: u64,
+    /// Number of departures in the window.
+    pub count: u64,
+    /// Mean slowdown of those departures (`None` if no departures).
+    pub mean_slowdown: Option<f64>,
+    /// Mean queueing delay of those departures.
+    pub mean_delay: Option<f64>,
+}
+
+/// Whole-run metrics for one class.
+#[derive(Debug, Clone)]
+pub struct ClassMetrics {
+    /// Departures counted (after warm-up).
+    pub completed: u64,
+    /// Slowdown accumulator over all counted departures.
+    pub slowdown: Welford,
+    /// Queueing-delay accumulator.
+    pub delay: Welford,
+    /// Service-duration accumulator (actual time on the task server).
+    pub service: Welford,
+    /// Per-window mean slowdowns (measurement period only).
+    pub windows: Vec<WindowStat>,
+    /// Total arrivals seen (including warm-up), for rate sanity checks.
+    pub total_arrivals: u64,
+}
+
+impl ClassMetrics {
+    fn new() -> Self {
+        Self {
+            completed: 0,
+            slowdown: Welford::new(),
+            delay: Welford::new(),
+            service: Welford::new(),
+            windows: Vec::new(),
+            total_arrivals: 0,
+        }
+    }
+
+    /// Mean slowdown over the whole measurement period.
+    pub fn mean_slowdown(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.slowdown.mean())
+    }
+
+    /// Mean queueing delay over the measurement period.
+    pub fn mean_delay(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.delay.mean())
+    }
+}
+
+/// Collects departures into windows and accumulators.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    warmup: f64,
+    window_len: f64,
+    per_class: Vec<ClassMetrics>,
+    // In-progress window accumulators.
+    current_window: u64,
+    win_slowdown: Vec<Welford>,
+    win_delay: Vec<Welford>,
+}
+
+impl MetricsCollector {
+    /// `window_len` is the measurement window (the paper's 1000 time
+    /// units); windows are counted from `warmup` onward.
+    pub fn new(n_classes: usize, warmup: f64, window_len: f64) -> Self {
+        assert!(window_len > 0.0, "window length must be positive");
+        Self {
+            warmup,
+            window_len,
+            per_class: (0..n_classes).map(|_| ClassMetrics::new()).collect(),
+            current_window: 0,
+            win_slowdown: (0..n_classes).map(|_| Welford::new()).collect(),
+            win_delay: (0..n_classes).map(|_| Welford::new()).collect(),
+        }
+    }
+
+    /// Record an arrival (any time, incl. warm-up).
+    pub fn on_arrival(&mut self, class: usize) {
+        self.per_class[class].total_arrivals += 1;
+    }
+
+    /// Record a departure; ignores departures during warm-up.
+    pub fn on_departure(&mut self, done: &CompletedRequest) {
+        if done.departure < self.warmup {
+            return;
+        }
+        let w = ((done.departure - self.warmup) / self.window_len) as u64;
+        while w > self.current_window {
+            self.flush_window();
+        }
+        let class = done.request.class;
+        let s = done.slowdown();
+        let d = done.delay();
+        let m = &mut self.per_class[class];
+        m.completed += 1;
+        m.slowdown.push(s);
+        m.delay.push(d);
+        m.service.push(done.service_duration());
+        self.win_slowdown[class].push(s);
+        self.win_delay[class].push(d);
+    }
+
+    fn flush_window(&mut self) {
+        for (class, m) in self.per_class.iter_mut().enumerate() {
+            let ws = &self.win_slowdown[class];
+            let wd = &self.win_delay[class];
+            m.windows.push(WindowStat {
+                index: self.current_window,
+                count: ws.count(),
+                mean_slowdown: (ws.count() > 0).then(|| ws.mean()),
+                mean_delay: (wd.count() > 0).then(|| wd.mean()),
+            });
+            self.win_slowdown[class] = Welford::new();
+            self.win_delay[class] = Welford::new();
+        }
+        self.current_window += 1;
+    }
+
+    /// Close the final partial window and emit the report.
+    pub fn finish(mut self, end_time: f64, rate_history: Vec<(f64, Vec<f64>)>) -> SimOutput {
+        self.flush_window();
+        SimOutput {
+            per_class: self.per_class,
+            end_time,
+            rate_history,
+            trace: Vec::new(),
+            busy_time: Vec::new(),
+        }
+    }
+}
+
+/// Final simulation report.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// Per-class metrics, indexed by class.
+    pub per_class: Vec<ClassMetrics>,
+    /// Simulation end time.
+    pub end_time: f64,
+    /// `(time, rates)` at every (re-)allocation, for controller audits.
+    pub rate_history: Vec<(f64, Vec<f64>)>,
+    /// Per-request trace records (populated when the config requested a
+    /// trace range; see [`crate::SimConfig::trace_range`]).
+    pub trace: Vec<TraceRecord>,
+    /// Per-class task-server busy time over the whole run (set by the
+    /// engine; empty in unit-constructed outputs).
+    pub busy_time: Vec<f64>,
+}
+
+impl SimOutput {
+    /// Mean slowdown of class `i` over the measurement period.
+    pub fn mean_slowdown(&self, class: usize) -> Option<f64> {
+        self.per_class[class].mean_slowdown()
+    }
+
+    /// Fraction of the run the class's task server spent busy (whole
+    /// run, warm-up included). `None` when busy-time accounting is
+    /// absent (unit-constructed outputs).
+    pub fn utilization(&self, class: usize) -> Option<f64> {
+        let b = *self.busy_time.get(class)?;
+        (self.end_time > 0.0).then(|| b / self.end_time)
+    }
+
+    /// The system slowdown: departure-weighted mean over classes (the
+    /// "achieved system slowdowns" curve of paper Fig. 2).
+    pub fn system_slowdown(&self) -> Option<f64> {
+        let total: u64 = self.per_class.iter().map(|m| m.completed).sum();
+        if total == 0 {
+            return None;
+        }
+        let weighted: f64 = self
+            .per_class
+            .iter()
+            .filter_map(|m| m.mean_slowdown().map(|s| s * m.completed as f64))
+            .sum();
+        Some(weighted / total as f64)
+    }
+
+    /// Ratio of mean slowdowns `class_a / class_b` (paper Figs 9/10).
+    pub fn slowdown_ratio(&self, class_a: usize, class_b: usize) -> Option<f64> {
+        let a = self.mean_slowdown(class_a)?;
+        let b = self.mean_slowdown(class_b)?;
+        (b > 0.0).then(|| a / b)
+    }
+
+    /// Per-window slowdown ratios `class_a / class_b`, skipping windows
+    /// where either class is empty or the denominator is zero (the
+    /// sample behind the percentile plots of paper Figs 5/6).
+    pub fn window_ratios(&self, class_a: usize, class_b: usize) -> Vec<f64> {
+        let wa = &self.per_class[class_a].windows;
+        let wb = &self.per_class[class_b].windows;
+        wa.iter()
+            .zip(wb)
+            .filter_map(|(a, b)| match (a.mean_slowdown, b.mean_slowdown) {
+                (Some(x), Some(y)) if y > 0.0 => Some(x / y),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn done(class: usize, arrival: f64, start: f64, depart: f64) -> CompletedRequest {
+        CompletedRequest {
+            request: Request { id: 0, class, size: 1.0, arrival },
+            service_start: start,
+            departure: depart,
+        }
+    }
+
+    #[test]
+    fn warmup_departures_ignored() {
+        let mut m = MetricsCollector::new(1, 100.0, 50.0);
+        m.on_departure(&done(0, 0.0, 10.0, 99.0));
+        let out = m.finish(200.0, vec![]);
+        assert_eq!(out.per_class[0].completed, 0);
+        assert!(out.mean_slowdown(0).is_none());
+    }
+
+    #[test]
+    fn windows_partition_departures() {
+        let mut m = MetricsCollector::new(1, 0.0, 10.0);
+        // Window 0: slowdowns 1.0 and 3.0; window 2: slowdown 5.0.
+        m.on_departure(&done(0, 0.0, 1.0, 2.0)); // W=1, svc=1 => s=1
+        m.on_departure(&done(0, 0.0, 6.0, 8.0)); // W=6, svc=2 => s=3
+        m.on_departure(&done(0, 20.0, 25.0, 26.0)); // s=5, window 2
+        let out = m.finish(30.0, vec![]);
+        let w = &out.per_class[0].windows;
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[0].mean_slowdown, Some(2.0));
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[1].mean_slowdown, None);
+        assert_eq!(w[2].mean_slowdown, Some(5.0));
+        assert_eq!(out.mean_slowdown(0), Some(3.0));
+    }
+
+    #[test]
+    fn system_slowdown_weights_by_departures() {
+        let mut m = MetricsCollector::new(2, 0.0, 100.0);
+        // Class 0: two requests with slowdown 1; class 1: one with 4.
+        m.on_departure(&done(0, 0.0, 1.0, 2.0));
+        m.on_departure(&done(0, 0.0, 2.0, 4.0)); // W=2 svc=2 s=1
+        m.on_departure(&done(1, 0.0, 4.0, 5.0)); // s=4
+        let out = m.finish(100.0, vec![]);
+        assert_eq!(out.system_slowdown(), Some((1.0 * 2.0 + 4.0) / 3.0));
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let mut m = MetricsCollector::new(2, 0.0, 10.0);
+        m.on_departure(&done(0, 0.0, 1.0, 2.0)); // s=1, win 0
+        m.on_departure(&done(1, 0.0, 2.0, 3.0)); // s=2, win 0
+        m.on_departure(&done(0, 10.0, 11.0, 12.0)); // s=1, win 1
+        // class 1 empty in win 1 -> skipped
+        let out = m.finish(20.0, vec![]);
+        assert_eq!(out.slowdown_ratio(1, 0), Some(2.0));
+        assert_eq!(out.window_ratios(1, 0), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_run_is_well_behaved() {
+        let m = MetricsCollector::new(2, 0.0, 10.0);
+        let out = m.finish(0.0, vec![]);
+        assert!(out.system_slowdown().is_none());
+        assert!(out.slowdown_ratio(0, 1).is_none());
+        assert!(out.window_ratios(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! The fluid-rate task server: one per class, FCFS, processing at the
+//! rate currently allocated by the controller.
+
+use crate::request::Request;
+
+/// How a task server reacts to a rate change while a request is in
+/// service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceMode {
+    /// Work-conserving fluid model: remaining work is carried over and
+    /// the completion time is recomputed at the new rate. This is the
+    /// faithful GPS-style abstraction and the default.
+    #[default]
+    Fluid,
+    /// The rate in force when service *started* applies for the whole
+    /// request; rate changes only affect subsequent requests. Used by
+    /// the `ablation_fluid` bench.
+    PinnedRate,
+}
+
+/// A request currently occupying the task server.
+#[derive(Debug, Clone)]
+pub struct InService {
+    /// The request being served.
+    pub request: Request,
+    /// Instant service began.
+    pub service_start: f64,
+    /// Full-rate work still to do (fluid mode) as of `last_touch`.
+    pub remaining: f64,
+    /// Last instant `remaining` was synchronized to.
+    pub last_touch: f64,
+    /// Rate pinned at service start (used in [`ServiceMode::PinnedRate`]).
+    pub pinned_rate: f64,
+}
+
+/// Per-class task server state.
+#[derive(Debug)]
+pub struct TaskServer {
+    rate: f64,
+    mode: ServiceMode,
+    busy: Option<InService>,
+    /// Bumped on every (re)scheduling decision; completion events carry
+    /// the epoch they were scheduled under and are ignored if stale.
+    epoch: u64,
+    /// Integral of busy time (for utilization reporting).
+    busy_time: f64,
+}
+
+impl TaskServer {
+    /// New idle server at the given initial rate.
+    pub fn new(rate: f64, mode: ServiceMode) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and >= 0");
+        Self { rate, mode, busy: None, epoch: 0, busy_time: 0.0 }
+    }
+
+    /// Current allocated rate.
+    #[cfg_attr(not(test), allow(dead_code))] // introspection used by tests
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Current scheduling epoch.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Is a request in service?
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+
+    /// Accumulated busy time (as of the last synchronization point).
+    #[cfg_attr(not(test), allow(dead_code))] // precise form used by tests
+    pub fn busy_time(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Busy time including the currently-running request up to `now`.
+    pub fn busy_time_as_of(&self, now: f64) -> f64 {
+        self.busy_time + self.busy.as_ref().map_or(0.0, |b| (now - b.last_touch).max(0.0))
+    }
+
+    /// The effective processing rate for the request currently in
+    /// service (honours [`ServiceMode::PinnedRate`]).
+    fn effective_rate(&self) -> f64 {
+        match (self.mode, &self.busy) {
+            (ServiceMode::PinnedRate, Some(b)) => b.pinned_rate,
+            _ => self.rate,
+        }
+    }
+
+    /// Begin serving `request` at `now`. Returns the scheduled
+    /// completion time and the epoch to stamp on the completion event,
+    /// or `None` if the current rate is zero (the request parks in
+    /// service until a positive rate arrives).
+    ///
+    /// # Panics
+    /// Panics if the server is already busy.
+    pub fn start_service(&mut self, request: Request, now: f64) -> Option<(f64, u64)> {
+        assert!(self.busy.is_none(), "start_service on a busy task server");
+        let size = request.size;
+        self.busy = Some(InService {
+            request,
+            service_start: now,
+            remaining: size,
+            last_touch: now,
+            pinned_rate: self.rate,
+        });
+        self.epoch += 1;
+        let r = self.effective_rate();
+        if r > 0.0 {
+            Some((now + size / r, self.epoch))
+        } else {
+            None
+        }
+    }
+
+    /// Complete the in-service request at `now` if `epoch` is current.
+    /// Returns the finished [`InService`] record, or `None` for a stale
+    /// completion event.
+    pub fn complete(&mut self, now: f64, epoch: u64) -> Option<InService> {
+        if epoch != self.epoch || self.busy.is_none() {
+            return None;
+        }
+        let mut b = self.busy.take().expect("checked above");
+        let r = match self.mode {
+            ServiceMode::PinnedRate => b.pinned_rate,
+            ServiceMode::Fluid => self.rate,
+        };
+        self.busy_time += now - b.last_touch.min(now);
+        b.remaining = (b.remaining - (now - b.last_touch) * r).max(0.0);
+        debug_assert!(
+            b.remaining < 1e-6 * b.request.size.max(1.0),
+            "completion fired with {} work left",
+            b.remaining
+        );
+        b.last_touch = now;
+        self.epoch += 1; // invalidate anything else in flight
+        Some(b)
+    }
+
+    /// Change the allocated rate at `now`.
+    ///
+    /// In fluid mode the in-service request's remaining work is synced
+    /// at the old rate and its completion rescheduled at the new one;
+    /// the returned value is the new completion `(time, epoch)` to
+    /// schedule (`None` if idle, if the new rate is zero, or if the mode
+    /// pins rates so the old completion event remains valid).
+    pub fn set_rate(&mut self, new_rate: f64, now: f64) -> Option<(f64, u64)> {
+        assert!(new_rate.is_finite() && new_rate >= 0.0, "rate must be finite and >= 0");
+        let old_rate = self.effective_rate();
+        if self.mode == ServiceMode::PinnedRate {
+            // In-flight request keeps its pinned rate; nothing to redo.
+            self.rate = new_rate;
+            return None;
+        }
+        self.rate = new_rate;
+        let epoch = &mut self.epoch;
+        if let Some(b) = &mut self.busy {
+            // Sync remaining work at the old rate.
+            let elapsed = now - b.last_touch;
+            self.busy_time += elapsed;
+            b.remaining = (b.remaining - elapsed * old_rate).max(0.0);
+            b.last_touch = now;
+            *epoch += 1;
+            if new_rate > 0.0 {
+                return Some((now + b.remaining / new_rate, *epoch));
+            }
+            // Starved: no completion until the next positive rate.
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(size: f64) -> Request {
+        Request { id: 1, class: 0, size, arrival: 0.0 }
+    }
+
+    #[test]
+    fn full_rate_service_time_equals_size() {
+        let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
+        let (t, e) = s.start_service(req(2.5), 10.0).unwrap();
+        assert_eq!(t, 12.5);
+        let done = s.complete(12.5, e).unwrap();
+        assert_eq!(done.service_start, 10.0);
+        assert!((s.busy_time() - 2.5).abs() < 1e-12);
+        assert!(!s.is_busy());
+    }
+
+    #[test]
+    fn half_rate_doubles_service_time() {
+        let mut s = TaskServer::new(0.5, ServiceMode::Fluid);
+        let (t, _) = s.start_service(req(1.0), 0.0).unwrap();
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn fluid_rate_change_rescales_completion() {
+        let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
+        let (_, e0) = s.start_service(req(4.0), 0.0).unwrap();
+        // At t=1, 3 units of work remain; halving the rate pushes
+        // completion to 1 + 3/0.5 = 7.
+        let (t, e1) = s.set_rate(0.5, 1.0).unwrap();
+        assert_eq!(t, 7.0);
+        assert!(e1 > e0);
+        // The stale completion is ignored.
+        assert!(s.complete(4.0, e0).is_none());
+        let done = s.complete(7.0, e1).unwrap();
+        assert_eq!(done.service_start, 0.0);
+    }
+
+    #[test]
+    fn pinned_mode_ignores_mid_service_change() {
+        let mut s = TaskServer::new(1.0, ServiceMode::PinnedRate);
+        let (t, e) = s.start_service(req(4.0), 0.0).unwrap();
+        assert_eq!(t, 4.0);
+        assert!(s.set_rate(0.25, 1.0).is_none(), "old completion stays valid");
+        assert!(s.complete(4.0, e).is_some());
+        // Next request sees the new rate.
+        let (t2, _) = s.start_service(req(1.0), 4.0).unwrap();
+        assert_eq!(t2, 8.0);
+    }
+
+    #[test]
+    fn zero_rate_starves_then_resumes() {
+        let mut s = TaskServer::new(0.0, ServiceMode::Fluid);
+        assert!(s.start_service(req(1.0), 0.0).is_none(), "no completion at rate 0");
+        assert!(s.is_busy());
+        let (t, e) = s.set_rate(2.0, 5.0).unwrap();
+        assert_eq!(t, 5.5);
+        assert!(s.complete(5.5, e).is_some());
+    }
+
+    #[test]
+    fn multiple_rate_changes_accumulate_work_correctly() {
+        let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
+        s.start_service(req(10.0), 0.0).unwrap();
+        s.set_rate(2.0, 2.0); // 8 work left, now at rate 2
+        let (t, e) = s.set_rate(0.5, 4.0).unwrap(); // 8-4=4 left at 0.5
+        assert_eq!(t, 4.0 + 8.0);
+        assert!(s.complete(t, e).is_some());
+        // Busy integral: whole 12 time units busy.
+        assert!((s.busy_time() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy task server")]
+    fn double_start_panics() {
+        let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
+        s.start_service(req(1.0), 0.0);
+        s.start_service(req(1.0), 0.1);
+    }
+
+    #[test]
+    fn stale_epoch_completion_ignored_when_idle() {
+        let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
+        assert!(s.complete(1.0, 0).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Optional per-request tracing inside a time range — the data behind
+//! the paper's short-timescale plots (Figs 7 and 8: slowdowns of
+//! individual requests between t = 60 000 and t = 61 000).
+
+use crate::request::CompletedRequest;
+
+/// A traced departure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Class index.
+    pub class: usize,
+    /// Request id.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Departure time.
+    pub departure: f64,
+    /// Measured slowdown.
+    pub slowdown: f64,
+}
+
+/// Records departures whose departure time falls in `[from, to)`.
+#[derive(Debug)]
+pub struct Tracer {
+    from: f64,
+    to: f64,
+    records: Vec<TraceRecord>,
+}
+
+impl Tracer {
+    /// Trace departures in `[from, to)`.
+    pub fn new(from: f64, to: f64) -> Self {
+        assert!(to > from, "empty trace range");
+        Self { from, to, records: Vec::new() }
+    }
+
+    /// Offer a departure to the tracer.
+    pub fn offer(&mut self, done: &CompletedRequest) {
+        if done.departure >= self.from && done.departure < self.to {
+            self.records.push(TraceRecord {
+                class: done.request.class,
+                id: done.request.id,
+                arrival: done.request.arrival,
+                departure: done.departure,
+                slowdown: done.slowdown(),
+            });
+        }
+    }
+
+    /// Consume the tracer, returning records in departure order.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn done(depart: f64) -> CompletedRequest {
+        CompletedRequest {
+            request: Request { id: 9, class: 1, size: 1.0, arrival: depart - 3.0 },
+            service_start: depart - 1.0,
+            departure: depart,
+        }
+    }
+
+    #[test]
+    fn range_filtering() {
+        let mut t = Tracer::new(10.0, 20.0);
+        t.offer(&done(5.0));
+        t.offer(&done(10.0));
+        t.offer(&done(19.999));
+        t.offer(&done(20.0));
+        let r = t.into_records();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].departure, 10.0);
+        assert_eq!(r[0].slowdown, 2.0);
+        assert_eq!(r[0].class, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace range")]
+    fn rejects_empty_range() {
+        Tracer::new(5.0, 5.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the discrete-event engine: conservation,
+//! FCFS ordering, causality and work accounting over randomized
+//! configurations.
+
+use proptest::prelude::*;
+use psd_desim::{ArrivalSpec, ClassSpec, SimConfig, Simulation, StaticRates};
+use psd_dist::{BoundedPareto, Deterministic, ServiceDist, UniformService};
+
+fn service_dist() -> impl Strategy<Value = ServiceDist> {
+    prop_oneof![
+        (0.05f64..2.0).prop_map(|v| ServiceDist::Deterministic(Deterministic::new(v).unwrap())),
+        (1.0f64..2.2, 0.01f64..0.5)
+            .prop_map(|(a, k)| ServiceDist::BoundedPareto(BoundedPareto::new(a, k, k * 500.0).unwrap())),
+        (0.05f64..1.0, 2.0f64..5.0)
+            .prop_map(|(a, f)| ServiceDist::Uniform(UniformService::new(a, a * f).unwrap())),
+    ]
+}
+
+fn two_class_config() -> impl Strategy<Value = SimConfig> {
+    (
+        service_dist(),
+        service_dist(),
+        0.05f64..2.0, // class-0 arrival rate
+        0.05f64..2.0, // class-1 arrival rate
+        any::<u64>(),
+    )
+        .prop_map(|(s0, s1, l0, l1, seed)| SimConfig {
+            classes: vec![
+                ClassSpec { arrival: ArrivalSpec::Poisson { rate: l0 }, service: s0 },
+                ClassSpec { arrival: ArrivalSpec::Poisson { rate: l1 }, service: s1 },
+            ],
+            end_time: 500.0,
+            warmup: 0.0,
+            control_period: 50.0,
+            seed,
+            ..SimConfig::default()
+        })
+}
+
+fn rates() -> impl Strategy<Value = Vec<f64>> {
+    (0.05f64..0.95).prop_map(|r| vec![r, 1.0 - r])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: completions never exceed arrivals; delays and
+    /// slowdowns are non-negative; busy time is within the horizon.
+    #[test]
+    fn conservation_and_causality(cfg in two_class_config(), r in rates()) {
+        let end = cfg.end_time;
+        let out = Simulation::new(cfg, Box::new(StaticRates::new(r))).run();
+        for (c, m) in out.per_class.iter().enumerate() {
+            prop_assert!(m.completed <= m.total_arrivals, "class {c} completed > arrived");
+            if m.completed > 0 {
+                prop_assert!(m.mean_delay().unwrap() >= 0.0);
+                prop_assert!(m.mean_slowdown().unwrap() >= 0.0);
+            }
+            let busy = out.busy_time[c];
+            prop_assert!(busy >= -1e-9 && busy <= end + 1e-6, "class {c} busy {busy} vs horizon {end}");
+        }
+    }
+
+    /// The trace (when requested) is sorted by departure, within range,
+    /// and FCFS within each class: departures of a class happen in
+    /// arrival (id) order.
+    #[test]
+    fn trace_is_causal_and_fcfs(cfg in two_class_config(), r in rates()) {
+        let mut cfg = cfg;
+        cfg.trace_range = Some((0.0, cfg.end_time));
+        let out = Simulation::new(cfg, Box::new(StaticRates::new(r))).run();
+        let mut prev_depart = 0.0;
+        let mut prev_id = [None::<u64>; 2];
+        for t in &out.trace {
+            prop_assert!(t.departure >= prev_depart - 1e-12, "departures out of order");
+            prev_depart = t.departure;
+            prop_assert!(t.departure >= t.arrival, "departed before arriving");
+            prop_assert!(t.slowdown >= 0.0);
+            if let Some(p) = prev_id[t.class] {
+                prop_assert!(t.id > p, "class {} violated FCFS: id {} after {}", t.class, t.id, p);
+            }
+            prev_id[t.class] = Some(t.id);
+        }
+    }
+
+    /// Determinism: identical configs and controllers give bit-identical
+    /// outputs.
+    #[test]
+    fn engine_determinism(cfg in two_class_config(), r in rates()) {
+        let a = Simulation::new(cfg.clone(), Box::new(StaticRates::new(r.clone()))).run();
+        let b = Simulation::new(cfg, Box::new(StaticRates::new(r))).run();
+        prop_assert_eq!(a.per_class[0].completed, b.per_class[0].completed);
+        prop_assert_eq!(a.per_class[1].completed, b.per_class[1].completed);
+        prop_assert_eq!(a.mean_slowdown(0), b.mean_slowdown(0));
+        prop_assert_eq!(a.mean_slowdown(1), b.mean_slowdown(1));
+        prop_assert_eq!(a.busy_time, b.busy_time);
+    }
+
+    /// Giving a class a larger static rate can only improve (or tie) its
+    /// own completions.
+    #[test]
+    fn more_rate_no_fewer_completions(cfg in two_class_config(), r1 in 0.1f64..0.45) {
+        let small = Simulation::new(cfg.clone(), Box::new(StaticRates::new(vec![r1, 1.0 - r1]))).run();
+        let big_rate = r1 + 0.5;
+        let big = Simulation::new(cfg, Box::new(StaticRates::new(vec![big_rate, 1.0 - big_rate]))).run();
+        // Same arrival stream (same seed): the faster server finishes at
+        // least as many class-0 requests.
+        prop_assert!(
+            big.per_class[0].completed + 1 >= small.per_class[0].completed,
+            "{} vs {}",
+            big.per_class[0].completed,
+            small.per_class[0].completed
+        );
+    }
+
+    /// Windows partition the measurement period: window counts sum to
+    /// the total completions.
+    #[test]
+    fn windows_partition_completions(cfg in two_class_config(), r in rates()) {
+        let out = Simulation::new(cfg, Box::new(StaticRates::new(r))).run();
+        for m in &out.per_class {
+            let window_sum: u64 = m.windows.iter().map(|w| w.count).sum();
+            prop_assert_eq!(window_sum, m.completed);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Validation of the simulator against closed-form queueing theory.
+//!
+//! These are the "is the substrate trustworthy?" tests: the simulated
+//! M/G/1 FCFS queues must match the Pollaczek–Khinchin delay and the
+//! paper's Lemma 1 slowdown within sampling tolerance. If these fail,
+//! nothing downstream (figures, allocation validation) means anything.
+
+use psd_desim::{ClassSpec, SimConfig, Simulation, StaticRates};
+use psd_dist::{BoundedPareto, Deterministic, ServiceDist, ServiceDistribution};
+use psd_queueing::{Mg1Fcfs, TaskServerQueue};
+
+fn run_single_class(service: ServiceDist, lambda: f64, rate: f64, seed: u64, end: f64) -> psd_desim::SimOutput {
+    let cfg = SimConfig {
+        classes: vec![ClassSpec::poisson(lambda, service)],
+        end_time: end,
+        warmup: end * 0.2,
+        control_period: 1000.0,
+        seed,
+        ..SimConfig::default()
+    };
+    Simulation::new(cfg, Box::new(StaticRates::new(vec![rate]))).run()
+}
+
+/// Average a statistic over several independent replications.
+fn replicate<F: Fn(u64) -> f64>(runs: u64, f: F) -> f64 {
+    (0..runs).map(&f).sum::<f64>() / runs as f64
+}
+
+#[test]
+fn md1_delay_matches_pollaczek_khinchin() {
+    // M/D/1 at ρ = 0.5: E[W] = ρ·d/(2(1−ρ)) = 0.5.
+    let d = Deterministic::new(1.0).unwrap();
+    let analytic = Mg1Fcfs::new(0.5, d.moments()).unwrap().expected_delay().unwrap();
+    let measured = replicate(5, |s| {
+        run_single_class(ServiceDist::Deterministic(d.clone()), 0.5, 1.0, 1000 + s, 40_000.0)
+            .per_class[0]
+            .delay
+            .mean()
+    });
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(rel < 0.05, "M/D/1 delay: simulated {measured} vs P-K {analytic}");
+}
+
+#[test]
+fn md1_slowdown_matches_eq15() {
+    // ρ = 0.7: E[S] = ρ/(2(1−ρ)) = 7/6.
+    let d = Deterministic::new(1.0).unwrap();
+    let analytic = 0.7 / (2.0 * 0.3);
+    let measured = replicate(5, |s| {
+        run_single_class(ServiceDist::Deterministic(d.clone()), 0.7, 1.0, 2000 + s, 40_000.0)
+            .mean_slowdown(0)
+            .unwrap()
+    });
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(rel < 0.05, "M/D/1 slowdown: simulated {measured} vs Eq.15 {analytic}");
+}
+
+#[test]
+fn mgb1_slowdown_matches_lemma1() {
+    // The paper's central closed form, at moderate load where sampling
+    // noise of the heavy-tailed E[X²] is manageable.
+    let bp = BoundedPareto::paper_default();
+    let m = bp.moments();
+    let load = 0.5;
+    let lambda = load / m.mean;
+    let analytic = Mg1Fcfs::new(lambda, m).unwrap().expected_slowdown().unwrap();
+    let measured = replicate(16, |s| {
+        run_single_class(ServiceDist::BoundedPareto(bp.clone()), lambda, 1.0, 3000 + s, 61_000.0)
+            .mean_slowdown(0)
+            .unwrap()
+    });
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(
+        rel < 0.15,
+        "M/G_B/1 slowdown at load {load}: simulated {measured} vs Lemma 1 {analytic} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn task_server_scaling_matches_theorem1() {
+    // A half-rate task server fed at 20% machine load must match
+    // Theorem 1's E[S_i] = λ·E[X²]·E[1/X]/(2(r − λE[X])).
+    let bp = BoundedPareto::paper_default();
+    let m = bp.moments();
+    let lambda = 0.2 / m.mean;
+    let rate = 0.5;
+    let analytic = TaskServerQueue::new(lambda, rate, m).unwrap().expected_slowdown().unwrap();
+    let measured = replicate(16, |s| {
+        run_single_class(ServiceDist::BoundedPareto(bp.clone()), lambda, rate, 4000 + s, 61_000.0)
+            .mean_slowdown(0)
+            .unwrap()
+    });
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(
+        rel < 0.15,
+        "task-server slowdown: simulated {measured} vs Theorem 1 {analytic} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn utilization_conservation() {
+    // Completed work per time ≈ offered load when stable.
+    let bp = BoundedPareto::paper_default();
+    let m = bp.moments();
+    let load = 0.6;
+    let lambda = load / m.mean;
+    let out = run_single_class(ServiceDist::BoundedPareto(bp), lambda, 1.0, 7, 61_000.0);
+    let mc = &out.per_class[0];
+    // Mean service duration at full rate equals E[X] within tolerance.
+    let rel = (mc.service.mean() - m.mean).abs() / m.mean;
+    assert!(rel < 0.1, "mean service {} vs E[X] {}", mc.service.mean(), m.mean);
+    // Arrival count consistent with λ·T.
+    let expect = lambda * out.end_time;
+    let got = mc.total_arrivals as f64;
+    assert!((got - expect).abs() / expect < 0.05, "arrivals {got} vs {expect}");
+}

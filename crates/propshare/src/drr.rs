@@ -1,0 +1,189 @@
+//! Deficit round robin (Shreedhar & Varghese): O(1) weighted fair
+//! queueing. Each class has a quantum proportional to its weight; a
+//! round visits backlogged classes in order, adding the quantum to the
+//! class's deficit counter and dispatching head-of-line items while the
+//! deficit covers their cost.
+
+use std::collections::VecDeque;
+
+use crate::scheduler::{check_item, check_weights, ProportionalScheduler, WorkItem};
+
+/// Deficit round robin scheduler.
+#[derive(Debug, Clone)]
+pub struct Drr {
+    weights: Vec<f64>,
+    /// Quantum per unit weight.
+    base_quantum: f64,
+    queues: Vec<VecDeque<WorkItem>>,
+    deficit: Vec<f64>,
+    /// Next class index to visit.
+    cursor: usize,
+    /// Whether the class at `cursor` already received its quantum for
+    /// the current visit (prevents re-granting while we keep serving it).
+    granted: bool,
+}
+
+impl Drr {
+    /// `base_quantum` is the per-round credit of a weight-1.0 class; it
+    /// should be at least the typical item cost to keep rounds short.
+    pub fn new(weights: Vec<f64>, base_quantum: f64) -> Self {
+        check_weights(&weights);
+        assert!(base_quantum.is_finite() && base_quantum > 0.0, "quantum must be positive");
+        let n = weights.len();
+        Self {
+            weights,
+            base_quantum,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            deficit: vec![0.0; n],
+            cursor: 0,
+            granted: false,
+        }
+    }
+}
+
+impl ProportionalScheduler for Drr {
+    fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn set_weight(&mut self, class: usize, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and > 0");
+        self.weights[class] = weight;
+    }
+
+    fn weight(&self, class: usize) -> f64 {
+        self.weights[class]
+    }
+
+    fn enqueue(&mut self, class: usize, item: WorkItem) {
+        check_item(&item);
+        self.queues[class].push_back(item);
+    }
+
+    fn dequeue(&mut self) -> Option<(usize, WorkItem)> {
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.weights.len();
+        // Each full round adds one quantum to every backlogged class, so
+        // after ceil(max_cost / min_quantum) rounds some head becomes
+        // servable; the loop is finite. Bound it generously anyway.
+        let min_quantum = self
+            .weights
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            * self.base_quantum;
+        let max_cost = (0..n)
+            .filter_map(|c| self.queues[c].front().map(|i| i.cost))
+            .fold(0.0f64, f64::max);
+        let bound = ((max_cost / min_quantum).ceil() as usize + 2) * n + 2;
+        for _ in 0..bound {
+            let class = self.cursor;
+            if let Some(head) = self.queues[class].front() {
+                if !self.granted {
+                    self.deficit[class] += self.base_quantum * self.weights[class];
+                    self.granted = true;
+                }
+                if self.deficit[class] >= head.cost {
+                    self.deficit[class] -= head.cost;
+                    let item = self.queues[class].pop_front().expect("head checked");
+                    if self.queues[class].is_empty() {
+                        // Idle classes bank nothing (standard DRR rule).
+                        self.deficit[class] = 0.0;
+                        self.cursor = (class + 1) % n;
+                        self.granted = false;
+                    } else if self.deficit[class]
+                        < self.queues[class].front().expect("non-empty").cost
+                    {
+                        // Deficit exhausted for this visit: next class.
+                        self.cursor = (class + 1) % n;
+                        self.granted = false;
+                    }
+                    // Otherwise stay on this class (deficit still covers
+                    // its next head) without re-granting.
+                    return Some((class, item));
+                }
+            } else {
+                self.deficit[class] = 0.0;
+            }
+            self.cursor = (class + 1) % n;
+            self.granted = false;
+        }
+        unreachable!("DRR failed to dispatch within {bound} visits");
+    }
+
+    fn backlog(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_equal_weights() {
+        let mut s = Drr::new(vec![1.0, 1.0], 1.0);
+        for id in 0..10 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            counts[s.dequeue().unwrap().0] += 1;
+        }
+        assert_eq!(counts, [5, 5]);
+    }
+
+    #[test]
+    fn weight_three_gets_three_per_round() {
+        let mut s = Drr::new(vec![3.0, 1.0], 1.0);
+        for id in 0..40 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..20 {
+            counts[s.dequeue().unwrap().0] += 1;
+        }
+        assert_eq!(counts, [15, 5]);
+    }
+
+    #[test]
+    fn oversized_items_eventually_serve() {
+        let mut s = Drr::new(vec![1.0, 1.0], 1.0);
+        s.enqueue(0, WorkItem { id: 1, cost: 50.0 }); // far above quantum
+        s.enqueue(1, WorkItem { id: 2, cost: 1.0 });
+        let mut got = Vec::new();
+        while let Some((_, item)) = s.dequeue() {
+            got.push(item.id);
+        }
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&1), "the oversized item must not be starved");
+    }
+
+    #[test]
+    fn idle_class_banks_nothing() {
+        let mut s = Drr::new(vec![1.0, 1.0], 1.0);
+        s.enqueue(0, WorkItem { id: 1, cost: 1.0 });
+        assert_eq!(s.dequeue().unwrap().1.id, 1);
+        // Class 0 sat idle; when both classes refill, it has no stored
+        // advantage.
+        for id in 0..10 {
+            s.enqueue(0, WorkItem { id: 10 + id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            counts[s.dequeue().unwrap().0] += 1;
+        }
+        assert!((counts[0] as i64 - counts[1] as i64).abs() <= 2, "{counts:?}");
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s = Drr::new(vec![1.0], 1.0);
+        assert!(s.dequeue().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! The Generalized Processor Sharing fluid reference (Parekh &
+//! Gallager). Not a dispatch scheduler — a continuous-time model that
+//! answers "how much work would each class have received by time t if
+//! capacity were infinitely divisible?" Used as ground truth in
+//! fairness tests and as the ideal the PSD task-server abstraction
+//! assumes.
+
+/// Fluid GPS over `n` classes with fixed total capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpsFluid {
+    weights: Vec<f64>,
+    capacity: f64,
+    /// Unfinished work per class.
+    backlog: Vec<f64>,
+    /// Cumulative service delivered per class.
+    served: Vec<f64>,
+}
+
+impl GpsFluid {
+    /// Build with per-class weights and total service capacity
+    /// (work-units per time-unit).
+    pub fn new(weights: Vec<f64>, capacity: f64) -> Self {
+        crate::scheduler::check_weights(&weights);
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        let n = weights.len();
+        Self { weights, capacity, backlog: vec![0.0; n], served: vec![0.0; n] }
+    }
+
+    /// Add `work` to class `class`'s backlog.
+    pub fn add_work(&mut self, class: usize, work: f64) {
+        assert!(work > 0.0, "work must be positive");
+        self.backlog[class] += work;
+    }
+
+    /// Unfinished work of `class`.
+    pub fn backlog(&self, class: usize) -> f64 {
+        self.backlog[class]
+    }
+
+    /// Cumulative service delivered to `class`.
+    pub fn served(&self, class: usize) -> f64 {
+        self.served[class]
+    }
+
+    /// Advance the fluid system by `dt`, distributing capacity among
+    /// *backlogged* classes in proportion to their weights, re-dividing
+    /// instantly whenever a class empties (the defining GPS property).
+    pub fn advance(&mut self, mut dt: f64) {
+        assert!(dt >= 0.0, "cannot advance backwards");
+        while dt > 1e-15 {
+            let active: Vec<usize> =
+                (0..self.weights.len()).filter(|&i| self.backlog[i] > 1e-15).collect();
+            if active.is_empty() {
+                return; // idle server: time passes, nothing served
+            }
+            let wsum: f64 = active.iter().map(|&i| self.weights[i]).sum();
+            // Time until the first active class empties at current shares.
+            let mut first_empty = dt;
+            for &i in &active {
+                let rate = self.capacity * self.weights[i] / wsum;
+                first_empty = first_empty.min(self.backlog[i] / rate);
+            }
+            let step = first_empty.min(dt);
+            for &i in &active {
+                let rate = self.capacity * self.weights[i] / wsum;
+                let done = (rate * step).min(self.backlog[i]);
+                self.backlog[i] -= done;
+                self.served[i] += done;
+                if self.backlog[i] < 1e-12 {
+                    self.backlog[i] = 0.0;
+                }
+            }
+            dt -= step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_by_weight_while_backlogged() {
+        let mut g = GpsFluid::new(vec![1.0, 3.0], 1.0);
+        g.add_work(0, 100.0);
+        g.add_work(1, 100.0);
+        g.advance(4.0);
+        assert!((g.served(0) - 1.0).abs() < 1e-9);
+        assert!((g.served(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_class_capacity_redistributes() {
+        let mut g = GpsFluid::new(vec![1.0, 1.0], 1.0);
+        g.add_work(0, 0.5);
+        g.add_work(1, 100.0);
+        // Class 0 empties at t = 1 (rate 1/2); afterwards class 1 gets
+        // the whole machine. At t = 3: class 1 served 0.5·1 + 1·2 = 2.5.
+        g.advance(3.0);
+        assert!((g.served(0) - 0.5).abs() < 1e-9);
+        assert!((g.served(1) - 2.5).abs() < 1e-9);
+        assert_eq!(g.backlog(0), 0.0);
+    }
+
+    #[test]
+    fn work_conservation() {
+        let mut g = GpsFluid::new(vec![2.0, 1.0, 1.0], 2.0);
+        g.add_work(0, 3.0);
+        g.add_work(1, 3.0);
+        g.add_work(2, 3.0);
+        g.advance(2.0); // serves 4 units total
+        let total: f64 = (0..3).map(|i| g.served(i)).sum();
+        assert!((total - 4.0).abs() < 1e-9, "capacity fully used: {total}");
+    }
+
+    #[test]
+    fn fully_drains_then_idles() {
+        let mut g = GpsFluid::new(vec![1.0], 1.0);
+        g.add_work(0, 1.0);
+        g.advance(10.0);
+        assert!((g.served(0) - 1.0).abs() < 1e-12);
+        assert_eq!(g.backlog(0), 0.0);
+        g.advance(5.0); // no panic, nothing more served
+        assert!((g.served(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_capacity() {
+        GpsFluid::new(vec![1.0], 0.0);
+    }
+}

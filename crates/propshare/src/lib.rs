@@ -1,0 +1,146 @@
+//! # psd-propshare — proportional-share scheduling substrate
+//!
+//! The PSD paper *assumes* "that the processing rate of an Internet
+//! server can be proportionally allocated to a number of task servers",
+//! citing GPS, PGPS and Lottery scheduling as the base (§1, §2.2). This
+//! crate provides that base, implemented from scratch:
+//!
+//! * [`GpsFluid`] — the idealized Generalized Processor Sharing fluid
+//!   reference (continuous, infinitely divisible service). Used as the
+//!   ground truth that packetized schedulers are tested against.
+//! * [`Wfq`] — start-time fair queueing, the practical packet-by-packet
+//!   approximation of GPS (the PGPS family); serves whole requests in
+//!   ascending virtual start-tag order.
+//! * [`Lottery`] — Waldspurger/Weihl lottery scheduling: probabilistic
+//!   shares via weighted random ticket draws.
+//! * [`Stride`] — the deterministic counterpart of lottery scheduling
+//!   (inverse-weight strides, minimum-pass selection).
+//! * [`Drr`] — deficit round robin with weight-proportional quanta.
+//!
+//! All schedulers implement [`ProportionalScheduler`] and are exercised
+//! by the same fairness test-suite: with all classes continuously
+//! backlogged, the long-run fraction of *work* dispatched for class `i`
+//! converges to `w_i / Σw_j`.
+//!
+//! ```
+//! use psd_propshare::{ProportionalScheduler, Wfq, WorkItem};
+//!
+//! let mut s = Wfq::new(vec![2.0, 1.0]); // class 0 gets 2/3 of the work
+//! s.enqueue(0, WorkItem { id: 1, cost: 1.0 });
+//! s.enqueue(1, WorkItem { id: 2, cost: 1.0 });
+//! s.enqueue(0, WorkItem { id: 3, cost: 1.0 });
+//! let (class, item) = s.dequeue().unwrap();
+//! assert_eq!((class, item.id), (0, 1));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod drr;
+mod gps;
+mod lottery;
+mod scfq;
+mod scheduler;
+mod stride;
+mod wfq;
+
+pub use drr::Drr;
+pub use gps::GpsFluid;
+pub use lottery::Lottery;
+pub use scfq::Scfq;
+pub use scheduler::{ProportionalScheduler, WorkItem};
+pub use stride::Stride;
+pub use wfq::Wfq;
+
+#[cfg(test)]
+mod fairness_tests {
+    //! The cross-scheduler fairness suite: every packetized scheduler
+    //! must track the GPS fluid shares when all classes stay backlogged.
+
+    use super::*;
+    use psd_dist::rng::Xoshiro256pp;
+    use rand::RngCore;
+
+    /// Keep every class backlogged, dispatch `total` work items with
+    /// random costs, and return per-class dispatched work fractions.
+    fn dispatch_fractions<S: ProportionalScheduler>(mut s: S, items: usize, seed: u64) -> Vec<f64> {
+        let n = s.num_classes();
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let mut next_id = 0u64;
+        let mut work = vec![0.0f64; n];
+        // Prime each class with a few items.
+        for class in 0..n {
+            for _ in 0..4 {
+                let cost = 0.5 + (rng.next_u64() % 100) as f64 / 50.0;
+                s.enqueue(class, WorkItem { id: next_id, cost });
+                next_id += 1;
+            }
+        }
+        for _ in 0..items {
+            let (class, item) = s.dequeue().expect("kept backlogged");
+            work[class] += item.cost;
+            // Refill the class we just drained to keep it backlogged.
+            let cost = 0.5 + (rng.next_u64() % 100) as f64 / 50.0;
+            s.enqueue(class, WorkItem { id: next_id, cost });
+            next_id += 1;
+        }
+        let total: f64 = work.iter().sum();
+        work.iter().map(|w| w / total).collect()
+    }
+
+    fn assert_tracks_weights(fractions: &[f64], weights: &[f64], tol: f64, label: &str) {
+        let wsum: f64 = weights.iter().sum();
+        for (i, (&f, &w)) in fractions.iter().zip(weights).enumerate() {
+            let want = w / wsum;
+            assert!(
+                (f - want).abs() < tol,
+                "{label}: class {i} got fraction {f:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn wfq_tracks_weights() {
+        let w = vec![1.0, 2.0, 4.0];
+        let f = dispatch_fractions(Wfq::new(w.clone()), 30_000, 1);
+        assert_tracks_weights(&f, &w, 0.01, "wfq");
+    }
+
+    #[test]
+    fn stride_tracks_weights() {
+        let w = vec![5.0, 3.0, 2.0];
+        let f = dispatch_fractions(Stride::new(w.clone()), 30_000, 2);
+        assert_tracks_weights(&f, &w, 0.01, "stride");
+    }
+
+    #[test]
+    fn drr_tracks_weights() {
+        let w = vec![1.0, 1.0, 3.0];
+        let f = dispatch_fractions(Drr::new(w.clone(), 2.0), 30_000, 3);
+        assert_tracks_weights(&f, &w, 0.02, "drr");
+    }
+
+    #[test]
+    fn lottery_tracks_weights_statistically() {
+        let w = vec![1.0, 3.0];
+        let f = dispatch_fractions(Lottery::new(w.clone(), 7), 60_000, 4);
+        // Probabilistic: looser tolerance.
+        assert_tracks_weights(&f, &w, 0.02, "lottery");
+    }
+
+    #[test]
+    fn scfq_tracks_weights() {
+        let w = vec![2.0, 1.0, 1.0];
+        let f = dispatch_fractions(Scfq::new(w.clone()), 30_000, 9);
+        assert_tracks_weights(&f, &w, 0.01, "scfq");
+    }
+
+    #[test]
+    fn skewed_weights_still_fair() {
+        let w = vec![1.0, 10.0, 100.0];
+        let f = dispatch_fractions(Wfq::new(w.clone()), 60_000, 5);
+        assert_tracks_weights(&f, &w, 0.01, "wfq skewed");
+        let f = dispatch_fractions(Stride::new(w.clone()), 60_000, 6);
+        assert_tracks_weights(&f, &w, 0.01, "stride skewed");
+    }
+}

@@ -1,0 +1,181 @@
+//! Lottery scheduling (Waldspurger & Weihl, OSDI '94): each backlogged
+//! class holds tickets proportional to its weight; each dispatch draws
+//! a uniformly random ticket. Shares are probabilistic — exact in
+//! expectation, with O(√n) deviation over n draws.
+//!
+//! One refinement from the original paper is included: *cost-aware
+//! compensation*. Because we dispatch whole requests of uneven cost, a
+//! pure ticket draw would give a class with expensive requests more
+//! than its share of **work**. Each class therefore carries a
+//! compensation factor `expected_cost / mean_class_cost` so long-run
+//! dispatched work (not dispatch count) tracks the weights.
+
+use std::collections::VecDeque;
+
+use psd_dist::rng::Xoshiro256pp;
+
+use crate::scheduler::{check_item, check_weights, ProportionalScheduler, WorkItem};
+
+/// Lottery scheduler with deterministic seeding.
+#[derive(Debug, Clone)]
+pub struct Lottery {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<WorkItem>>,
+    rng: Xoshiro256pp,
+    /// Running mean cost per class (for compensation), Welford-style.
+    mean_cost: Vec<f64>,
+    cost_count: Vec<u64>,
+}
+
+impl Lottery {
+    /// Build with per-class weights and an RNG seed.
+    pub fn new(weights: Vec<f64>, seed: u64) -> Self {
+        check_weights(&weights);
+        let n = weights.len();
+        Self {
+            weights,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            rng: Xoshiro256pp::seed_from(seed),
+            mean_cost: vec![0.0; n],
+            cost_count: vec![0; n],
+        }
+    }
+
+    fn effective_tickets(&self, class: usize) -> f64 {
+        // Compensate for per-class cost differences so *work* tracks
+        // weights: classes with cheaper items draw proportionally more.
+        let mc = self.mean_cost[class];
+        if mc > 0.0 {
+            self.weights[class] / mc
+        } else {
+            self.weights[class]
+        }
+    }
+}
+
+impl ProportionalScheduler for Lottery {
+    fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn set_weight(&mut self, class: usize, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and > 0");
+        self.weights[class] = weight;
+    }
+
+    fn weight(&self, class: usize) -> f64 {
+        self.weights[class]
+    }
+
+    fn enqueue(&mut self, class: usize, item: WorkItem) {
+        check_item(&item);
+        // Update the running mean cost of the class.
+        self.cost_count[class] += 1;
+        let k = self.cost_count[class] as f64;
+        self.mean_cost[class] += (item.cost - self.mean_cost[class]) / k;
+        self.queues[class].push_back(item);
+    }
+
+    fn dequeue(&mut self) -> Option<(usize, WorkItem)> {
+        let backlogged: Vec<usize> =
+            (0..self.weights.len()).filter(|&c| !self.queues[c].is_empty()).collect();
+        if backlogged.is_empty() {
+            return None;
+        }
+        let total: f64 = backlogged.iter().map(|&c| self.effective_tickets(c)).sum();
+        let draw = self.rng.next_f64() * total;
+        let mut acc = 0.0;
+        let mut winner = *backlogged.last().expect("non-empty");
+        for &c in &backlogged {
+            acc += self.effective_tickets(c);
+            if draw < acc {
+                winner = c;
+                break;
+            }
+        }
+        let item = self.queues[winner].pop_front().expect("backlogged");
+        Some((winner, item))
+    }
+
+    fn backlog(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_class_serves_fifo() {
+        let mut s = Lottery::new(vec![1.0], 1);
+        for id in 0..3 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+        }
+        assert_eq!(s.dequeue().unwrap().1.id, 0);
+        assert_eq!(s.dequeue().unwrap().1.id, 1);
+        assert_eq!(s.dequeue().unwrap().1.id, 2);
+        assert!(s.dequeue().is_none());
+    }
+
+    #[test]
+    fn draw_proportions_follow_tickets() {
+        let mut s = Lottery::new(vec![1.0, 9.0], 7);
+        let mut counts = [0usize; 2];
+        for round in 0..20_000u64 {
+            s.enqueue(0, WorkItem { id: round * 2, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: round * 2 + 1, cost: 1.0 });
+            let (c, _) = s.dequeue().unwrap();
+            counts[c] += 1;
+        }
+        let frac1 = counts[1] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((frac1 - 0.9).abs() < 0.02, "class 1 drew {frac1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = Lottery::new(vec![1.0, 1.0], seed);
+            let mut order = Vec::new();
+            for id in 0..50 {
+                s.enqueue(0, WorkItem { id, cost: 1.0 });
+                s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+            }
+            while let Some((c, _)) = s.dequeue() {
+                order.push(c);
+            }
+            order
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn only_backlogged_classes_win() {
+        let mut s = Lottery::new(vec![1.0, 1000.0], 5);
+        s.enqueue(0, WorkItem { id: 1, cost: 1.0 });
+        // Class 1 holds almost all tickets but is empty.
+        let (c, _) = s.dequeue().unwrap();
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn cost_compensation_balances_work() {
+        // Equal weights, class 0 items cost 4x: per-work fairness
+        // requires class 1 to be drawn ~4x as often.
+        let mut s = Lottery::new(vec![1.0, 1.0], 11);
+        let mut work = [0.0f64; 2];
+        for round in 0..40_000u64 {
+            if s.backlog(0) == 0 {
+                s.enqueue(0, WorkItem { id: round * 2, cost: 4.0 });
+            }
+            if s.backlog(1) == 0 {
+                s.enqueue(1, WorkItem { id: round * 2 + 1, cost: 1.0 });
+            }
+            let (c, item) = s.dequeue().unwrap();
+            work[c] += item.cost;
+        }
+        let frac0 = work[0] / (work[0] + work[1]);
+        assert!((frac0 - 0.5).abs() < 0.03, "work fraction of class 0: {frac0}");
+    }
+}

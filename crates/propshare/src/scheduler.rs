@@ -1,0 +1,86 @@
+//! The common scheduler interface.
+
+/// A unit of work to dispatch (a request, a quantum, a packet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkItem {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Work amount (service time at unit rate). Must be positive.
+    pub cost: f64,
+}
+
+/// A weighted scheduler over a fixed set of classes: work enqueued per
+/// class, dispatched one item at a time such that long-run dispatched
+/// *work* is proportional to class weights while classes stay
+/// backlogged.
+pub trait ProportionalScheduler {
+    /// Number of classes the scheduler was built with.
+    fn num_classes(&self) -> usize;
+
+    /// Replace the weight of `class` (takes effect on future decisions).
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range or `weight` is not positive.
+    fn set_weight(&mut self, class: usize, weight: f64);
+
+    /// Current weight of `class`.
+    fn weight(&self, class: usize) -> f64;
+
+    /// Append an item to `class`'s FIFO backlog.
+    fn enqueue(&mut self, class: usize, item: WorkItem);
+
+    /// Pick the next item to serve (run-to-completion), or `None` if
+    /// every class is empty.
+    fn dequeue(&mut self) -> Option<(usize, WorkItem)>;
+
+    /// Items waiting in `class`'s backlog.
+    fn backlog(&self, class: usize) -> usize;
+
+    /// True when no class has pending work.
+    fn is_empty(&self) -> bool {
+        (0..self.num_classes()).all(|c| self.backlog(c) == 0)
+    }
+}
+
+pub(crate) fn check_weights(weights: &[f64]) {
+    assert!(!weights.is_empty(), "need at least one class");
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w.is_finite() && w > 0.0, "weight of class {i} must be finite and > 0, got {w}");
+    }
+}
+
+pub(crate) fn check_item(item: &WorkItem) {
+    assert!(
+        item.cost.is_finite() && item.cost > 0.0,
+        "work item cost must be finite and > 0, got {}",
+        item.cost
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_validation() {
+        check_weights(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_weights_panic() {
+        check_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and > 0")]
+    fn zero_weight_panics() {
+        check_weights(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be finite and > 0")]
+    fn bad_item_panics() {
+        check_item(&WorkItem { id: 0, cost: 0.0 });
+    }
+}

@@ -1,0 +1,147 @@
+//! Stride scheduling — the deterministic analogue of lottery
+//! scheduling (Waldspurger & Weihl). Each class has a stride inversely
+//! proportional to its weight; the scheduler always serves the
+//! backlogged class with the minimum *pass* value and advances its pass
+//! by `stride × cost`, so dispatched work tracks weights with O(1)
+//! deviation instead of lottery's O(√n).
+
+use std::collections::VecDeque;
+
+use crate::scheduler::{check_item, check_weights, ProportionalScheduler, WorkItem};
+
+const STRIDE_SCALE: f64 = 1.0;
+
+/// Stride scheduler.
+#[derive(Debug, Clone)]
+pub struct Stride {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<WorkItem>>,
+    pass: Vec<f64>,
+    global_pass: f64,
+}
+
+impl Stride {
+    /// Build with per-class weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        check_weights(&weights);
+        let n = weights.len();
+        Self { weights, queues: (0..n).map(|_| VecDeque::new()).collect(), pass: vec![0.0; n], global_pass: 0.0 }
+    }
+
+    fn stride(&self, class: usize) -> f64 {
+        STRIDE_SCALE / self.weights[class]
+    }
+}
+
+impl ProportionalScheduler for Stride {
+    fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn set_weight(&mut self, class: usize, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and > 0");
+        self.weights[class] = weight;
+    }
+
+    fn weight(&self, class: usize) -> f64 {
+        self.weights[class]
+    }
+
+    fn enqueue(&mut self, class: usize, item: WorkItem) {
+        check_item(&item);
+        if self.queues[class].is_empty() {
+            // A class re-joining the competition must not have banked
+            // credit from its idle period: jump its pass to the global
+            // pass (the standard stride "exhausted client" rule).
+            self.pass[class] = self.pass[class].max(self.global_pass);
+        }
+        self.queues[class].push_back(item);
+    }
+
+    fn dequeue(&mut self) -> Option<(usize, WorkItem)> {
+        let winner = (0..self.weights.len())
+            .filter(|&c| !self.queues[c].is_empty())
+            .min_by(|&a, &b| self.pass[a].total_cmp(&self.pass[b]))?;
+        let item = self.queues[winner].pop_front().expect("backlogged");
+        self.global_pass = self.pass[winner];
+        self.pass[winner] += self.stride(winner) * item.cost;
+        Some((winner, item))
+    }
+
+    fn backlog(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_to_one_pattern() {
+        // Weights 2:1, unit costs ⇒ dispatch pattern of period 3 with
+        // two class-0 dispatches per period.
+        let mut s = Stride::new(vec![2.0, 1.0]);
+        for id in 0..30 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..15 {
+            counts[s.dequeue().unwrap().0] += 1;
+        }
+        assert_eq!(counts[0], 10);
+        assert_eq!(counts[1], 5);
+    }
+
+    #[test]
+    fn cost_weighted_passes() {
+        // Equal weights but class 0's items are twice the cost: class 1
+        // should be dispatched about twice as often.
+        let mut s = Stride::new(vec![1.0, 1.0]);
+        let mut counts = [0usize; 2];
+        for round in 0..3000u64 {
+            if s.backlog(0) < 2 {
+                s.enqueue(0, WorkItem { id: round * 2, cost: 2.0 });
+            }
+            if s.backlog(1) < 2 {
+                s.enqueue(1, WorkItem { id: round * 2 + 1, cost: 1.0 });
+            }
+            counts[s.dequeue().unwrap().0] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "dispatch ratio {ratio}");
+    }
+
+    #[test]
+    fn rejoining_class_gets_no_banked_credit() {
+        let mut s = Stride::new(vec![1.0, 1.0]);
+        // Only class 1 active for a while.
+        for id in 0..10 {
+            s.enqueue(1, WorkItem { id, cost: 1.0 });
+        }
+        for _ in 0..10 {
+            s.dequeue().unwrap();
+        }
+        // Class 0 joins; without the pass-forwarding rule it would now
+        // monopolize for 10 dispatches.
+        for id in 0..10 {
+            s.enqueue(0, WorkItem { id: 100 + id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 200 + id, cost: 1.0 });
+        }
+        let mut first_eight = [0usize; 2];
+        for _ in 0..8 {
+            first_eight[s.dequeue().unwrap().0] += 1;
+        }
+        assert!(
+            first_eight[0] <= 5,
+            "rejoining class must not monopolize: {first_eight:?}"
+        );
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s = Stride::new(vec![1.0]);
+        assert!(s.dequeue().is_none());
+    }
+}

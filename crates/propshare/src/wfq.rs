@@ -1,0 +1,176 @@
+//! Weighted fair queueing via start-time fair queueing (SFQ, Goyal et
+//! al.) — the packet-by-packet approximation of GPS that the PGPS
+//! family made practical. Items are tagged with virtual start/finish
+//! times; dispatch order is ascending start tag; virtual time is the
+//! start tag of the item in service. SFQ's fairness bound is within one
+//! maximal item of GPS, which is all the task-server abstraction needs.
+
+use std::collections::VecDeque;
+
+use crate::scheduler::{check_item, check_weights, ProportionalScheduler, WorkItem};
+
+#[derive(Debug, Clone, Copy)]
+struct Tagged {
+    item: WorkItem,
+    start: f64,
+    finish: f64,
+}
+
+/// Start-time fair queueing scheduler.
+#[derive(Debug, Clone)]
+pub struct Wfq {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<Tagged>>,
+    /// Virtual time: start tag of the most recently dispatched item.
+    vtime: f64,
+    /// Last finish tag issued per class.
+    last_finish: Vec<f64>,
+}
+
+impl Wfq {
+    /// Build with per-class weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        check_weights(&weights);
+        let n = weights.len();
+        Self {
+            weights,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            vtime: 0.0,
+            last_finish: vec![0.0; n],
+        }
+    }
+}
+
+impl ProportionalScheduler for Wfq {
+    fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn set_weight(&mut self, class: usize, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and > 0");
+        self.weights[class] = weight;
+    }
+
+    fn weight(&self, class: usize) -> f64 {
+        self.weights[class]
+    }
+
+    fn enqueue(&mut self, class: usize, item: WorkItem) {
+        check_item(&item);
+        // Tag on arrival: start = max(V, last finish of this class).
+        let start = self.vtime.max(self.last_finish[class]);
+        let finish = start + item.cost / self.weights[class];
+        self.last_finish[class] = finish;
+        self.queues[class].push_back(Tagged { item, start, finish });
+    }
+
+    fn dequeue(&mut self) -> Option<(usize, WorkItem)> {
+        // Serve the head-of-line item with the minimum start tag; ties
+        // break on the finish tag (earlier virtual completion first),
+        // then on class index — all deterministic.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (class, q) in self.queues.iter().enumerate() {
+            if let Some(head) = q.front() {
+                let better = match best {
+                    None => true,
+                    Some((_, s, f)) => {
+                        head.start < s || (head.start == s && head.finish < f)
+                    }
+                };
+                if better {
+                    best = Some((class, head.start, head.finish));
+                }
+            }
+        }
+        let (class, _, _) = best?;
+        let tagged = self.queues[class].pop_front().expect("head checked");
+        self.vtime = tagged.start;
+        Some((class, tagged.item))
+    }
+
+    fn backlog(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_class() {
+        let mut s = Wfq::new(vec![1.0]);
+        for id in 0..5 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+        }
+        for id in 0..5 {
+            assert_eq!(s.dequeue().unwrap().1.id, id);
+        }
+        assert!(s.dequeue().is_none());
+    }
+
+    #[test]
+    fn interleaves_by_weight() {
+        // Weights 2:1 with unit costs — class 0 should be dispatched
+        // roughly twice as often in any prefix.
+        let mut s = Wfq::new(vec![2.0, 1.0]);
+        for id in 0..30 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..12 {
+            let (c, _) = s.dequeue().unwrap();
+            counts[c] += 1;
+        }
+        assert!(counts[0] >= 7 && counts[0] <= 9, "2:1 prefix fairness, got {counts:?}");
+    }
+
+    #[test]
+    fn large_items_do_not_monopolize() {
+        // Class 0 sends huge items, class 1 small ones at equal weight:
+        // class 1 must get through between class 0's items.
+        let mut s = Wfq::new(vec![1.0, 1.0]);
+        for id in 0..4 {
+            s.enqueue(0, WorkItem { id, cost: 10.0 });
+        }
+        for id in 0..20 {
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut seen1 = 0;
+        let mut dispatched0 = 0;
+        while dispatched0 < 2 {
+            let (c, _) = s.dequeue().unwrap();
+            if c == 0 {
+                dispatched0 += 1;
+            } else {
+                seen1 += 1;
+            }
+        }
+        assert!(seen1 >= 9, "class 1 got {seen1} items between class-0 monsters");
+    }
+
+    #[test]
+    fn empty_dequeue_none() {
+        let mut s = Wfq::new(vec![1.0, 1.0]);
+        assert!(s.dequeue().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn weight_update_changes_future_shares() {
+        let mut s = Wfq::new(vec![1.0, 1.0]);
+        s.set_weight(0, 4.0);
+        assert_eq!(s.weight(0), 4.0);
+        for id in 0..20 {
+            s.enqueue(0, WorkItem { id, cost: 1.0 });
+            s.enqueue(1, WorkItem { id: 100 + id, cost: 1.0 });
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            let (c, _) = s.dequeue().unwrap();
+            counts[c] += 1;
+        }
+        assert!(counts[0] >= 7, "reweighted class dominates: {counts:?}");
+    }
+}

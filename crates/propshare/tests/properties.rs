@@ -1,0 +1,162 @@
+//! Property-based tests of the proportional-share schedulers: no work
+//! is ever lost or invented, FIFO order holds within a class, and
+//! long-run dispatched work tracks the weights.
+
+use proptest::prelude::*;
+use psd_propshare::{Drr, GpsFluid, Lottery, ProportionalScheduler, Stride, Wfq, WorkItem};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { class: usize, cost: f64 },
+    Dequeue,
+}
+
+fn ops(n_classes: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..n_classes, 0.01f64..20.0).prop_map(|(class, cost)| Op::Enqueue { class, cost }),
+            2 => Just(Op::Dequeue),
+        ],
+        1..200,
+    )
+}
+
+/// Drive an arbitrary op sequence and check conservation + class FIFO.
+fn check_conservation<S: ProportionalScheduler>(mut s: S, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let n = s.num_classes();
+    let mut next_id = 0u64;
+    let mut enqueued = vec![0usize; n];
+    let mut dispatched = vec![0usize; n];
+    let mut last_dispatched_id = vec![None::<u64>; n];
+    for op in ops {
+        match op {
+            Op::Enqueue { class, cost } => {
+                s.enqueue(class, WorkItem { id: next_id, cost });
+                // ids increase monotonically per class because they are global
+                next_id += 1;
+                enqueued[class] += 1;
+            }
+            Op::Dequeue => {
+                if let Some((class, item)) = s.dequeue() {
+                    dispatched[class] += 1;
+                    // FIFO within a class: ids per class must ascend.
+                    if let Some(prev) = last_dispatched_id[class] {
+                        prop_assert!(
+                            item.id > prev,
+                            "class {class} dispatched id {} after {prev}",
+                            item.id
+                        );
+                    }
+                    last_dispatched_id[class] = Some(item.id);
+                }
+            }
+        }
+    }
+    // Conservation: backlog + dispatched == enqueued, per class.
+    for c in 0..n {
+        prop_assert_eq!(s.backlog(c) + dispatched[c], enqueued[c], "class {} leaked work", c);
+    }
+    // Draining yields exactly the backlog.
+    let mut drained = 0;
+    while s.dequeue().is_some() {
+        drained += 1;
+        prop_assert!(drained <= enqueued.iter().sum::<usize>(), "infinite drain");
+    }
+    prop_assert!(s.is_empty());
+    Ok(())
+}
+
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn wfq_conserves(w in weights(3), ops in ops(3)) {
+        check_conservation(Wfq::new(w), ops)?;
+    }
+
+    #[test]
+    fn stride_conserves(w in weights(3), ops in ops(3)) {
+        check_conservation(Stride::new(w), ops)?;
+    }
+
+    #[test]
+    fn drr_conserves(w in weights(3), ops in ops(3), quantum in 0.5f64..5.0) {
+        check_conservation(Drr::new(w, quantum), ops)?;
+    }
+
+    #[test]
+    fn lottery_conserves(w in weights(3), ops in ops(3), seed in any::<u64>()) {
+        check_conservation(Lottery::new(w, seed), ops)?;
+    }
+
+    /// With everything continuously backlogged, WFQ's dispatched work
+    /// per class stays within a bounded distance of the GPS fluid ideal
+    /// (one maximal item per class — SFQ's fairness bound).
+    #[test]
+    fn wfq_tracks_gps(w in weights(2), seed in any::<u64>()) {
+        let mut wfq = Wfq::new(w.clone());
+        let mut gps = GpsFluid::new(w.clone(), 1.0);
+        let mut rng = psd_dist::rng::Xoshiro256pp::seed_from(seed);
+        let mut id = 0u64;
+        let max_cost = 3.0;
+        // Prime both with identical backlogs.
+        for class in 0..2 {
+            for _ in 0..400 {
+                let cost = 0.1 + rng.next_f64() * (max_cost - 0.1);
+                wfq.enqueue(class, WorkItem { id, cost });
+                gps.add_work(class, cost);
+                id += 1;
+            }
+        }
+        // Dispatch a bounded amount of work through WFQ and advance GPS
+        // by the same total.
+        let mut done = [0.0f64; 2];
+        let mut total = 0.0;
+        while total < 100.0 {
+            let (c, item) = wfq.dequeue().expect("deep backlog");
+            done[c] += item.cost;
+            total += item.cost;
+        }
+        gps.advance(total);
+        for c in 0..2 {
+            let diff = (done[c] - gps.served(c)).abs();
+            // SFQ lag bound: one maximal item per *busy* class, plus the
+            // in-flight item.
+            prop_assert!(
+                diff <= 2.0 * max_cost + 1e-6,
+                "class {c}: wfq {} vs gps {} (diff {diff})",
+                done[c],
+                gps.served(c)
+            );
+        }
+    }
+
+    /// GPS fluid never serves more than capacity·dt in total, and never
+    /// serves an empty class.
+    #[test]
+    fn gps_capacity_bound(
+        w in weights(3),
+        adds in proptest::collection::vec((0usize..3, 0.1f64..5.0), 1..30),
+        dt in 0.1f64..50.0,
+    ) {
+        let mut g = GpsFluid::new(w, 2.0);
+        let mut offered = vec![0.0f64; 3];
+        for (c, work) in adds {
+            g.add_work(c, work);
+            offered[c] += work;
+        }
+        g.advance(dt);
+        let mut total_served = 0.0;
+        for c in 0..3 {
+            prop_assert!(g.served(c) <= offered[c] + 1e-9, "served more than offered");
+            total_served += g.served(c);
+        }
+        prop_assert!(total_served <= 2.0 * dt + 1e-9, "capacity exceeded");
+        // Work conservation: served + backlog == offered.
+        for c in 0..3 {
+            prop_assert!((g.served(c) + g.backlog(c) - offered[c]).abs() < 1e-9);
+        }
+    }
+}

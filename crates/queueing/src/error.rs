@@ -1,0 +1,62 @@
+//! Typed errors for the queueing analysis.
+
+use std::fmt;
+
+/// Why a closed-form queueing quantity cannot be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The queue is not stable: utilization `ρ ≥ 1`.
+    Unstable {
+        /// The offending utilization.
+        utilization: f64,
+    },
+    /// The service distribution has divergent `E[1/X]`, so expected
+    /// slowdown does not exist (e.g. exponential service; paper §5).
+    SlowdownUndefined,
+    /// A required moment is infinite (e.g. `E[X²]` of an unbounded
+    /// Pareto with `α ≤ 2`), so the P–K delay is infinite.
+    InfiniteMoment {
+        /// Which moment diverged, e.g. `"E[X^2]"`.
+        which: &'static str,
+    },
+    /// Invalid caller-supplied parameter (negative arrival rate, etc.).
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Unstable { utilization } => {
+                write!(f, "queue unstable: utilization {utilization} >= 1")
+            }
+            AnalysisError::SlowdownUndefined => {
+                write!(f, "expected slowdown undefined: E[1/X] diverges for this service distribution")
+            }
+            AnalysisError::InfiniteMoment { which } => {
+                write!(f, "required moment {which} is infinite")
+            }
+            AnalysisError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AnalysisError::Unstable { utilization: 1.2 };
+        assert!(e.to_string().contains("1.2"));
+        assert!(AnalysisError::SlowdownUndefined.to_string().contains("E[1/X]"));
+        let e = AnalysisError::InfiniteMoment { which: "E[X^2]" };
+        assert!(e.to_string().contains("E[X^2]"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # psd-queueing — M/G/1 FCFS analysis for slowdown differentiation
+//!
+//! Closed-form queueing results underpinning the PSD paper
+//! (Zhou/Wei/Xu, IPDPS 2004):
+//!
+//! * [`pk`] — the Pollaczek–Khinchin mean-delay formula for M/G/1 FCFS.
+//! * [`mg1`] — full M/G/1 FCFS analysis including **expected slowdown**
+//!   `E[S] = E[W]·E[1/X]` (paper Lemma 1), valid whenever the service
+//!   distribution has finite `E[1/X]` (it does for Bounded Pareto; it
+//!   does **not** for exponential — that case surfaces
+//!   [`AnalysisError::SlowdownUndefined`], reproducing the paper's §5
+//!   observation).
+//! * [`task_server`] — Lemma 2 / Theorem 1: the same analysis on a task
+//!   server running at a fraction `r` of the full machine, using the
+//!   exact scaling laws `E[(X/r)^j] = E[X^j]/r^j`, `E[r/X] = r·E[1/X]`.
+//! * [`md1`] — the M/D/1 reduction (paper Eq. 15) for deterministic
+//!   session-step service times.
+//! * [`mm1`] — M/M/1 delay analysis, kept as the counter-example whose
+//!   slowdown has no closed form.
+//!
+//! ```
+//! use psd_dist::{BoundedPareto, ServiceDistribution};
+//! use psd_queueing::mg1::Mg1Fcfs;
+//!
+//! let bp = BoundedPareto::paper_default();          // BP(1.5, 0.1, 100)
+//! let lam = 0.5 / bp.mean();                        // 50% load
+//! let q = Mg1Fcfs::new(lam, bp.moments()).unwrap();
+//! let s = q.expected_slowdown().unwrap();
+//! assert!(s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod md1;
+pub mod mg1;
+pub mod mm1;
+pub mod pk;
+pub mod priority;
+pub mod task_server;
+pub mod variance;
+
+pub use error::AnalysisError;
+pub use mg1::Mg1Fcfs;
+pub use priority::PriorityMg1;
+pub use task_server::TaskServerQueue;

@@ -1,0 +1,98 @@
+//! The M/D/1 reduction (paper Eq. 15).
+//!
+//! When every request in a class takes the same time `d` (session states
+//! like "home entry" or "register" in an e-commerce workload, §2.2), the
+//! `M/G_B/1` queue degenerates to `M/D/1` and the class slowdown on a
+//! task server of rate `r` is simply
+//!
+//! ```text
+//! E[S] = u / (2(1 − u)),     u = λ·d / r
+//! ```
+
+use crate::AnalysisError;
+
+/// Expected slowdown of an M/D/1 FCFS queue with arrival rate `lambda`,
+/// constant full-rate service time `d`, on a task server of rate `rate`.
+pub fn expected_slowdown(lambda: f64, d: f64, rate: f64) -> Result<f64, AnalysisError> {
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("arrival rate must be finite and >= 0, got {lambda}"),
+        });
+    }
+    if !(d.is_finite() && d > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("service time must be finite and > 0, got {d}"),
+        });
+    }
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("rate must be finite and > 0, got {rate}"),
+        });
+    }
+    let u = lambda * d / rate;
+    if u >= 1.0 {
+        return Err(AnalysisError::Unstable { utilization: u });
+    }
+    Ok(u / (2.0 * (1.0 - u)))
+}
+
+/// Expected queueing delay of the same queue: `E[W] = E[S]·(d/r)`
+/// (deterministic service makes the slowdown exactly `W/(d/r)`).
+pub fn expected_delay(lambda: f64, d: f64, rate: f64) -> Result<f64, AnalysisError> {
+    Ok(expected_slowdown(lambda, d, rate)? * d / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskServerQueue;
+    use psd_dist::{Deterministic, ServiceDistribution};
+
+    #[test]
+    fn matches_generic_task_server_analysis() {
+        let d = 0.8;
+        let det = Deterministic::new(d).unwrap();
+        for &(lambda, rate) in &[(0.2, 0.5), (0.5, 0.9), (0.05, 0.1)] {
+            let fast = expected_slowdown(lambda, d, rate).unwrap();
+            let generic = TaskServerQueue::new(lambda, rate, det.moments())
+                .unwrap()
+                .expected_slowdown()
+                .unwrap();
+            assert!((fast - generic).abs() < 1e-12, "λ={lambda} r={rate}");
+        }
+    }
+
+    #[test]
+    fn half_load_slowdown_is_half() {
+        // u = 0.5 ⇒ E[S] = 0.5/(2·0.5) = 0.5.
+        let s = expected_slowdown(0.5, 1.0, 1.0).unwrap();
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        assert!(matches!(
+            expected_slowdown(1.0, 1.0, 1.0),
+            Err(AnalysisError::Unstable { .. })
+        ));
+        assert!(matches!(
+            expected_slowdown(0.6, 1.0, 0.5),
+            Err(AnalysisError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn delay_slowdown_consistency() {
+        let (lambda, d, rate) = (0.25, 2.0, 0.8);
+        let s = expected_slowdown(lambda, d, rate).unwrap();
+        let w = expected_delay(lambda, d, rate).unwrap();
+        assert!((w - s * d / rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(expected_slowdown(-1.0, 1.0, 1.0).is_err());
+        assert!(expected_slowdown(0.5, 0.0, 1.0).is_err());
+        assert!(expected_slowdown(0.5, 1.0, 0.0).is_err());
+    }
+}

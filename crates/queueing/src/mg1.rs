@@ -1,0 +1,168 @@
+//! M/G/1 FCFS analysis with slowdown (paper Lemma 1).
+//!
+//! In a FCFS queue an arriving job's waiting time `W` is independent of
+//! its *own* service time `X`, so
+//!
+//! ```text
+//! E[S] = E[W/X] = E[W]·E[1/X] = λ·E[X²]·E[1/X] / (2(1 − ρ))
+//! ```
+//!
+//! whenever `E[1/X]` is finite.
+
+use crate::{pk, AnalysisError};
+use psd_dist::Moments;
+
+/// Analysis handle for an M/G/1 FCFS queue with arrival rate `λ` and a
+/// service distribution summarized by its [`Moments`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mg1Fcfs {
+    lambda: f64,
+    moments: Moments,
+}
+
+impl Mg1Fcfs {
+    /// Construct the analysis. Fails on invalid `λ` or non-positive mean
+    /// service time; stability is checked lazily by each query so that
+    /// an unstable configuration can still report its utilization.
+    pub fn new(lambda: f64, moments: Moments) -> Result<Self, AnalysisError> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!("arrival rate must be finite and >= 0, got {lambda}"),
+            });
+        }
+        if !(moments.mean.is_finite() && moments.mean > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!("mean service time must be finite and > 0, got {}", moments.mean),
+            });
+        }
+        Ok(Self { lambda, moments })
+    }
+
+    /// Arrival rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service-time moments.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// Utilization `ρ = λ·E[X]`.
+    pub fn utilization(&self) -> f64 {
+        pk::utilization(self.lambda, &self.moments)
+    }
+
+    /// Is the queue stable (`ρ < 1`)?
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Mean queueing delay `E[W]` (P–K).
+    pub fn expected_delay(&self) -> Result<f64, AnalysisError> {
+        pk::expected_delay(self.lambda, &self.moments)
+    }
+
+    /// Mean slowdown `E[S] = E[W]·E[1/X]` (paper Lemma 1 / Eq. 6).
+    ///
+    /// [`AnalysisError::SlowdownUndefined`] when `E[1/X]` diverges.
+    pub fn expected_slowdown(&self) -> Result<f64, AnalysisError> {
+        let mean_inverse = self.moments.mean_inverse.ok_or(AnalysisError::SlowdownUndefined)?;
+        Ok(self.expected_delay()? * mean_inverse)
+    }
+
+    /// Mean response time `E[T] = E[W] + E[X]`.
+    pub fn expected_response(&self) -> Result<f64, AnalysisError> {
+        pk::expected_response(self.lambda, &self.moments)
+    }
+
+    /// Mean number waiting, `λ·E[W]` (Little).
+    pub fn expected_queue_length(&self) -> Result<f64, AnalysisError> {
+        pk::expected_queue_length(self.lambda, &self.moments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_dist::{BoundedPareto, Deterministic, Exponential, HyperExponential, ServiceDistribution};
+
+    fn bp_queue(load: f64) -> Mg1Fcfs {
+        let d = BoundedPareto::paper_default();
+        let m = d.moments();
+        Mg1Fcfs::new(load / m.mean, m).unwrap()
+    }
+
+    #[test]
+    fn slowdown_formula_direct() {
+        // E[S] = λ·E[X²]·E[1/X] / (2(1−ρ)), cross-checked by parts.
+        let q = bp_queue(0.6);
+        let m = q.moments().clone();
+        let s = q.expected_slowdown().unwrap();
+        let manual = q.lambda() * m.second_moment * m.mean_inverse.unwrap() / (2.0 * (1.0 - 0.6));
+        assert!((s - manual).abs() / manual < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_undefined_for_exponential() {
+        let d = Exponential::new(1.0).unwrap();
+        let q = Mg1Fcfs::new(0.5, d.moments()).unwrap();
+        assert!(q.expected_delay().is_ok(), "delay still has a closed form");
+        assert_eq!(q.expected_slowdown().unwrap_err(), AnalysisError::SlowdownUndefined);
+    }
+
+    #[test]
+    fn slowdown_undefined_for_hyperexponential() {
+        let d = HyperExponential::h2_balanced(1.0, 4.0).unwrap();
+        let q = Mg1Fcfs::new(0.3, d.moments()).unwrap();
+        assert_eq!(q.expected_slowdown().unwrap_err(), AnalysisError::SlowdownUndefined);
+    }
+
+    #[test]
+    fn md1_slowdown_reduction() {
+        // Deterministic d: E[S] = ρ/(2(1−ρ)) — paper Eq. 15 at full rate.
+        let d = Deterministic::new(2.0).unwrap();
+        for &rho in &[0.1, 0.5, 0.9] {
+            let q = Mg1Fcfs::new(rho / 2.0, d.moments()).unwrap();
+            let s = q.expected_slowdown().unwrap();
+            let expect = rho / (2.0 * (1.0 - rho));
+            assert!((s - expect).abs() < 1e-12, "rho={rho}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn stability_flags() {
+        assert!(bp_queue(0.95).is_stable());
+        assert!(!bp_queue(1.0).is_stable());
+        assert!(matches!(
+            bp_queue(1.1).expected_delay(),
+            Err(AnalysisError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn slowdown_blows_up_near_saturation() {
+        let s50 = bp_queue(0.5).expected_slowdown().unwrap();
+        let s90 = bp_queue(0.9).expected_slowdown().unwrap();
+        let s99 = bp_queue(0.99).expected_slowdown().unwrap();
+        assert!(s50 < s90 && s90 < s99);
+        assert!(s99 / s50 > 10.0, "1/(1−ρ) growth");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let d = BoundedPareto::paper_default();
+        assert!(Mg1Fcfs::new(f64::NAN, d.moments()).is_err());
+        assert!(Mg1Fcfs::new(-1.0, d.moments()).is_err());
+        let bad = psd_dist::Moments { mean: 0.0, second_moment: 1.0, mean_inverse: Some(1.0) };
+        assert!(Mg1Fcfs::new(1.0, bad).is_err());
+    }
+
+    #[test]
+    fn response_exceeds_delay_by_mean_service() {
+        let q = bp_queue(0.7);
+        let w = q.expected_delay().unwrap();
+        let t = q.expected_response().unwrap();
+        assert!((t - w - q.moments().mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! M/M/1 FCFS analysis — the paper's §5 counter-example.
+//!
+//! Delay and response time have textbook closed forms, but the expected
+//! slowdown `E[W]·E[1/X]` does **not** exist because the exponential's
+//! `E[1/X]` diverges. [`expected_slowdown`] therefore always returns
+//! [`AnalysisError::SlowdownUndefined`]; it exists so callers hit a
+//! typed, documented error rather than a silent `NaN`.
+
+use crate::AnalysisError;
+
+/// Mean queueing delay of M/M/1 FCFS: `E[W] = ρ/(μ − λ)`.
+pub fn expected_delay(lambda: f64, mu: f64) -> Result<f64, AnalysisError> {
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("arrival rate must be finite and >= 0, got {lambda}"),
+        });
+    }
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("service rate must be finite and > 0, got {mu}"),
+        });
+    }
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        return Err(AnalysisError::Unstable { utilization: rho });
+    }
+    Ok(rho / (mu - lambda))
+}
+
+/// Mean response time `E[T] = 1/(μ − λ)`.
+pub fn expected_response(lambda: f64, mu: f64) -> Result<f64, AnalysisError> {
+    expected_delay(lambda, mu).map(|w| w + 1.0 / mu)
+}
+
+/// Expected slowdown of M/M/1 FCFS — **always undefined** (paper §5).
+pub fn expected_slowdown(_lambda: f64, _mu: f64) -> Result<f64, AnalysisError> {
+    Err(AnalysisError::SlowdownUndefined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_delay() {
+        // λ=0.5, μ=1: E[W] = 0.5/0.5 = 1.
+        assert!((expected_delay(0.5, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        // E[T] = 1/(μ−λ) = 2.
+        assert!((expected_response(0.5, 1.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable() {
+        assert!(matches!(expected_delay(1.0, 1.0), Err(AnalysisError::Unstable { .. })));
+    }
+
+    #[test]
+    fn slowdown_always_undefined() {
+        assert_eq!(expected_slowdown(0.1, 1.0).unwrap_err(), AnalysisError::SlowdownUndefined);
+        assert_eq!(expected_slowdown(0.9, 1.0).unwrap_err(), AnalysisError::SlowdownUndefined);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(expected_delay(-0.1, 1.0).is_err());
+        assert!(expected_delay(0.1, 0.0).is_err());
+    }
+}

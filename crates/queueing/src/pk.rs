@@ -1,0 +1,126 @@
+//! The Pollaczek–Khinchin mean-value formula (Kleinrock Vol. II), the
+//! root of every closed form in the paper:
+//!
+//! ```text
+//! E[W] = λ·E[X²] / (2·(1 − ρ)),    ρ = λ·E[X] < 1
+//! ```
+
+use crate::AnalysisError;
+use psd_dist::Moments;
+
+/// Utilization `ρ = λ·E[X]` of an M/G/1 queue.
+pub fn utilization(lambda: f64, m: &Moments) -> f64 {
+    lambda * m.mean
+}
+
+/// Mean FCFS queueing delay `E[W]` by the P–K formula.
+///
+/// Errors with [`AnalysisError::Unstable`] when `ρ ≥ 1` and
+/// [`AnalysisError::InfiniteMoment`] when `E[X²] = ∞`.
+pub fn expected_delay(lambda: f64, m: &Moments) -> Result<f64, AnalysisError> {
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("arrival rate must be finite and >= 0, got {lambda}"),
+        });
+    }
+    if lambda == 0.0 {
+        return Ok(0.0);
+    }
+    if m.second_moment.is_infinite() {
+        return Err(AnalysisError::InfiniteMoment { which: "E[X^2]" });
+    }
+    let rho = utilization(lambda, m);
+    if rho >= 1.0 {
+        return Err(AnalysisError::Unstable { utilization: rho });
+    }
+    Ok(lambda * m.second_moment / (2.0 * (1.0 - rho)))
+}
+
+/// Mean number of requests *waiting* (not in service), by Little's law:
+/// `E[N_q] = λ·E[W]`.
+pub fn expected_queue_length(lambda: f64, m: &Moments) -> Result<f64, AnalysisError> {
+    Ok(lambda * expected_delay(lambda, m)?)
+}
+
+/// Mean response (sojourn) time `E[T] = E[W] + E[X]`.
+pub fn expected_response(lambda: f64, m: &Moments) -> Result<f64, AnalysisError> {
+    Ok(expected_delay(lambda, m)? + m.mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_dist::{BoundedPareto, Deterministic, Exponential, Pareto, ServiceDistribution};
+
+    #[test]
+    fn md1_closed_form() {
+        // M/D/1: E[W] = ρ·d / (2(1−ρ)).
+        let d = Deterministic::new(1.0).unwrap();
+        let lambda = 0.5;
+        let w = expected_delay(lambda, &d.moments()).unwrap();
+        assert!((w - 0.5 / (2.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_closed_form() {
+        // M/M/1: E[W] = ρ/(μ−λ). With μ = 1, λ = 0.8: E[W] = 0.8/0.2 = 4.
+        let d = Exponential::new(1.0).unwrap();
+        let w = expected_delay(0.8, &d.moments()).unwrap();
+        assert!((w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_arrivals_no_delay() {
+        let d = BoundedPareto::paper_default();
+        assert_eq!(expected_delay(0.0, &d.moments()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unstable_detected() {
+        let d = Deterministic::new(1.0).unwrap();
+        let err = expected_delay(1.0, &d.moments()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Unstable { .. }));
+        let err = expected_delay(2.0, &d.moments()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Unstable { utilization } if utilization == 2.0));
+    }
+
+    #[test]
+    fn infinite_second_moment_detected() {
+        let d = Pareto::new(1.5, 0.1).unwrap(); // E[X²] = ∞
+        let err = expected_delay(0.1, &d.moments()).unwrap_err();
+        assert!(matches!(err, AnalysisError::InfiniteMoment { which: "E[X^2]" }));
+    }
+
+    #[test]
+    fn negative_lambda_rejected() {
+        let d = Deterministic::new(1.0).unwrap();
+        assert!(matches!(
+            expected_delay(-0.5, &d.moments()),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn littles_law_and_response() {
+        let d = Deterministic::new(2.0).unwrap();
+        let lambda = 0.25; // ρ = 0.5
+        let w = expected_delay(lambda, &d.moments()).unwrap();
+        let nq = expected_queue_length(lambda, &d.moments()).unwrap();
+        assert!((nq - lambda * w).abs() < 1e-12);
+        let t = expected_response(lambda, &d.moments()).unwrap();
+        assert!((t - (w + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_monotone_in_load() {
+        let d = BoundedPareto::paper_default();
+        let m = d.moments();
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let rho = i as f64 * 0.1;
+            let w = expected_delay(rho / m.mean, &m).unwrap();
+            assert!(w > prev, "delay must grow with load");
+            prev = w;
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Non-preemptive (head-of-line) priority M/G/1 — the analytical model
+//! of the **strict priority** scheduling that the paper's related work
+//! (§5, Almeida et al.) showed "cannot guarantee the quality spacings
+//! among different classes".
+//!
+//! Classic closed form (Cobham / Kleinrock): with classes indexed from
+//! 0 (highest priority), residual work `R = Σ_j λ_j·E[X_j²]/2` and
+//! cumulative utilizations `σ_i = Σ_{j ≤ i} ρ_j`,
+//!
+//! ```text
+//! E[W_i] = R / ((1 − σ_{i−1})(1 − σ_i))
+//! ```
+//!
+//! The waiting time of a job is independent of its own service time
+//! (the discipline is non-preemptive and blind to size within a class),
+//! so class slowdowns again factorize: `E[S_i] = E[W_i]·E[1/X_i]`.
+//!
+//! The point of keeping this module: under strict priority the
+//! slowdown *ratio* between classes moves with the load mix — exactly
+//! why the paper needs Eq. 17 instead. `examples/priority_vs_psd.rs`
+//! plots the drift.
+
+use crate::AnalysisError;
+use psd_dist::Moments;
+
+/// Analysis of a non-preemptive priority M/G/1 with per-class arrival
+/// rates and service moments. Index 0 is the highest priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityMg1 {
+    lambdas: Vec<f64>,
+    moments: Vec<Moments>,
+}
+
+impl PriorityMg1 {
+    /// Build the analysis; classes share the single full-rate server.
+    pub fn new(lambdas: Vec<f64>, moments: Vec<Moments>) -> Result<Self, AnalysisError> {
+        if lambdas.is_empty() || lambdas.len() != moments.len() {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!(
+                    "need equal non-zero class counts ({} lambdas, {} moment sets)",
+                    lambdas.len(),
+                    moments.len()
+                ),
+            });
+        }
+        for (i, &l) in lambdas.iter().enumerate() {
+            if !(l.is_finite() && l >= 0.0) {
+                return Err(AnalysisError::InvalidParameter {
+                    reason: format!("arrival rate of class {i} must be finite and >= 0, got {l}"),
+                });
+            }
+        }
+        for (i, m) in moments.iter().enumerate() {
+            if !(m.mean.is_finite() && m.mean > 0.0) {
+                return Err(AnalysisError::InvalidParameter {
+                    reason: format!("class {i} mean service time must be finite and > 0"),
+                });
+            }
+        }
+        Ok(Self { lambdas, moments })
+    }
+
+    /// Same service distribution for every class (the paper's setup).
+    pub fn homogeneous(lambdas: Vec<f64>, moments: Moments) -> Result<Self, AnalysisError> {
+        let n = lambdas.len();
+        Self::new(lambdas, vec![moments; n])
+    }
+
+    /// Total utilization `ρ`.
+    pub fn total_utilization(&self) -> f64 {
+        self.lambdas.iter().zip(&self.moments).map(|(l, m)| l * m.mean).sum()
+    }
+
+    /// Mean residual work `R = Σ λ_j E[X_j²]/2`.
+    pub fn residual_work(&self) -> Result<f64, AnalysisError> {
+        let mut r = 0.0;
+        for (l, m) in self.lambdas.iter().zip(&self.moments) {
+            if m.second_moment.is_infinite() {
+                return Err(AnalysisError::InfiniteMoment { which: "E[X^2]" });
+            }
+            r += l * m.second_moment / 2.0;
+        }
+        Ok(r)
+    }
+
+    /// Mean queueing delay of class `i` (Cobham's formula).
+    pub fn expected_delay(&self, class: usize) -> Result<f64, AnalysisError> {
+        let rho = self.total_utilization();
+        if rho >= 1.0 {
+            // Classes above the saturation boundary still have finite
+            // delay in theory, but we keep the conservative whole-system
+            // stability requirement the rest of the workspace uses.
+            return Err(AnalysisError::Unstable { utilization: rho });
+        }
+        let r = self.residual_work()?;
+        let sigma_before: f64 = self.lambdas[..class]
+            .iter()
+            .zip(&self.moments[..class])
+            .map(|(l, m)| l * m.mean)
+            .sum();
+        let sigma_incl = sigma_before + self.lambdas[class] * self.moments[class].mean;
+        Ok(r / ((1.0 - sigma_before) * (1.0 - sigma_incl)))
+    }
+
+    /// Mean slowdown of class `i`: `E[W_i]·E[1/X_i]`.
+    pub fn expected_slowdown(&self, class: usize) -> Result<f64, AnalysisError> {
+        let mi = self.moments[class].mean_inverse.ok_or(AnalysisError::SlowdownUndefined)?;
+        Ok(self.expected_delay(class)? * mi)
+    }
+
+    /// Achieved slowdown ratio of class `i` over class `j`.
+    pub fn slowdown_ratio(&self, i: usize, j: usize) -> Result<f64, AnalysisError> {
+        Ok(self.expected_slowdown(i)? / self.expected_slowdown(j)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mg1Fcfs;
+    use psd_dist::{BoundedPareto, Deterministic, ServiceDistribution};
+
+    fn bp() -> Moments {
+        BoundedPareto::paper_default().moments()
+    }
+
+    #[test]
+    fn single_class_reduces_to_fcfs() {
+        let m = bp();
+        let lambda = 0.6 / m.mean;
+        let p = PriorityMg1::homogeneous(vec![lambda], m).unwrap();
+        let fcfs = Mg1Fcfs::new(lambda, m).unwrap();
+        assert!(
+            (p.expected_delay(0).unwrap() - fcfs.expected_delay().unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (p.expected_slowdown(0).unwrap() - fcfs.expected_slowdown().unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn higher_priority_waits_less() {
+        let m = bp();
+        let lambda = 0.3 / m.mean;
+        let p = PriorityMg1::homogeneous(vec![lambda, lambda, lambda], m).unwrap();
+        let w0 = p.expected_delay(0).unwrap();
+        let w1 = p.expected_delay(1).unwrap();
+        let w2 = p.expected_delay(2).unwrap();
+        assert!(w0 < w1 && w1 < w2);
+    }
+
+    #[test]
+    fn conservation_law() {
+        // Kleinrock's conservation: Σ ρ_i·E[W_i] is the same as under
+        // FCFS (any non-preemptive work-conserving discipline).
+        let m = bp();
+        let l = 0.25 / m.mean;
+        let p = PriorityMg1::homogeneous(vec![l, l, l], m).unwrap();
+        let lhs: f64 = (0..3)
+            .map(|i| l * m.mean * p.expected_delay(i).unwrap())
+            .sum();
+        let fcfs = Mg1Fcfs::new(3.0 * l, m).unwrap().expected_delay().unwrap();
+        let rhs = 0.75 * fcfs;
+        assert!((lhs - rhs).abs() / rhs < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// The §5 point, analytically: the priority slowdown ratio *moves
+    /// with the load*, unlike PSD's pinned δ ratio.
+    #[test]
+    fn priority_ratio_drifts_with_load() {
+        let m = bp();
+        let ratio_at = |load: f64| {
+            let l = load / 2.0 / m.mean;
+            PriorityMg1::homogeneous(vec![l, l], m).unwrap().slowdown_ratio(1, 0).unwrap()
+        };
+        let r_low = ratio_at(0.2);
+        let r_high = ratio_at(0.9);
+        assert!(
+            (r_high - r_low).abs() > 0.5,
+            "priority spacing should drift strongly: {r_low} -> {r_high}"
+        );
+        assert!(r_high > r_low, "higher load widens the priority gap");
+    }
+
+    #[test]
+    fn md1_two_class_hand_check() {
+        // d = 1, λ = (0.25, 0.25): R = (0.25 + 0.25)/2 = 0.25,
+        // σ₀ = 0.25, σ₁ = 0.5.
+        let m = Deterministic::new(1.0).unwrap().moments();
+        let p = PriorityMg1::homogeneous(vec![0.25, 0.25], m).unwrap();
+        let w0 = p.expected_delay(0).unwrap();
+        let w1 = p.expected_delay(1).unwrap();
+        assert!((w0 - 0.25 / 0.75).abs() < 1e-12);
+        assert!((w1 - 0.25 / (0.75 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = bp();
+        assert!(PriorityMg1::new(vec![], vec![]).is_err());
+        assert!(PriorityMg1::new(vec![1.0], vec![m, m]).is_err());
+        let p = PriorityMg1::homogeneous(vec![5.0 / m.mean], m).unwrap();
+        assert!(matches!(p.expected_delay(0), Err(AnalysisError::Unstable { .. })));
+        let e = psd_dist::Exponential::new(1.0).unwrap();
+        let pe = PriorityMg1::homogeneous(vec![0.5], psd_dist::ServiceDistribution::moments(&e)).unwrap();
+        assert!(pe.expected_delay(0).is_ok());
+        assert_eq!(pe.expected_slowdown(0).unwrap_err(), AnalysisError::SlowdownUndefined);
+    }
+}

@@ -1,0 +1,189 @@
+//! Task-server queueing analysis (paper Lemma 2 and Theorem 1).
+//!
+//! A *task server* is the processing unit serving one request class in
+//! FCFS order at a fraction `r` of the full machine rate (a child
+//! process / thread under proportional-share scheduling). Service times
+//! on it are `X/r` where `X` is the full-rate service time, so by the
+//! scaling laws of Lemma 2:
+//!
+//! ```text
+//! E[X_i]   = E[X]/r        E[X_i²] = E[X²]/r²       E[1/X_i] = r·E[1/X]
+//! ```
+//!
+//! and Theorem 1 gives the class slowdown
+//!
+//! ```text
+//! E[S_i] = λ_i·E[X_i²]·E[1/X_i] / (2(1 − λ_i·E[X_i]))
+//!        = λ_i·E[X²]·E[1/X]     / (2(r − λ_i·E[X]))
+//! ```
+
+use crate::{mg1::Mg1Fcfs, AnalysisError};
+use psd_dist::Moments;
+
+/// An M/G/1 FCFS queue on a task server with normalized processing rate
+/// `rate ∈ (0, 1]`, fed by class arrival rate `lambda`, where `base`
+/// holds the service-time moments at full machine rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskServerQueue {
+    lambda: f64,
+    rate: f64,
+    base: Moments,
+    scaled: Mg1Fcfs,
+}
+
+impl TaskServerQueue {
+    /// Construct the task-server analysis.
+    pub fn new(lambda: f64, rate: f64, base: Moments) -> Result<Self, AnalysisError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!("task server rate must be finite and > 0, got {rate}"),
+            });
+        }
+        let scaled = Mg1Fcfs::new(lambda, base.scaled_by_rate(rate))?;
+        Ok(Self { lambda, rate, base, scaled })
+    }
+
+    /// The class arrival rate `λ_i`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The task-server processing rate `r_i`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Moments of the *scaled* service time `X/r` (Lemma 2).
+    pub fn scaled_moments(&self) -> &Moments {
+        self.scaled.moments()
+    }
+
+    /// Local utilization `u_i = λ_i·E[X]/r_i`.
+    pub fn utilization(&self) -> f64 {
+        self.scaled.utilization()
+    }
+
+    /// Is this task server stable?
+    pub fn is_stable(&self) -> bool {
+        self.scaled.is_stable()
+    }
+
+    /// Mean queueing delay on the task server.
+    pub fn expected_delay(&self) -> Result<f64, AnalysisError> {
+        self.scaled.expected_delay()
+    }
+
+    /// Expected class slowdown (Theorem 1 / Eq. 14).
+    pub fn expected_slowdown(&self) -> Result<f64, AnalysisError> {
+        self.scaled.expected_slowdown()
+    }
+
+    /// Expected slowdown via the *unscaled* closed form
+    /// `λ·E[X²]·E[1/X] / (2(r − λ·E[X]))` — algebraically identical to
+    /// [`Self::expected_slowdown`]; exposed for tests and documentation.
+    pub fn expected_slowdown_direct(&self) -> Result<f64, AnalysisError> {
+        let mi = self.base.mean_inverse.ok_or(AnalysisError::SlowdownUndefined)?;
+        if self.base.second_moment.is_infinite() {
+            return Err(AnalysisError::InfiniteMoment { which: "E[X^2]" });
+        }
+        let slack = self.rate - self.lambda * self.base.mean;
+        if slack <= 0.0 {
+            return Err(AnalysisError::Unstable { utilization: self.utilization() });
+        }
+        if self.lambda == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.lambda * self.base.second_moment * mi / (2.0 * slack))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_dist::{BoundedPareto, Deterministic, ServiceDistribution};
+
+    fn base() -> Moments {
+        BoundedPareto::paper_default().moments()
+    }
+
+    #[test]
+    fn scaled_and_direct_forms_agree() {
+        let m = base();
+        for &(lam_load, rate) in &[(0.1, 0.5), (0.3, 0.6), (0.45, 0.5), (0.2, 0.25)] {
+            let lambda = lam_load / m.mean;
+            let q = TaskServerQueue::new(lambda, rate, m).unwrap();
+            let a = q.expected_slowdown().unwrap();
+            let b = q.expected_slowdown_direct().unwrap();
+            assert!((a - b).abs() / a < 1e-10, "load {lam_load} rate {rate}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lemma2_scaling_laws() {
+        let m = base();
+        let q = TaskServerQueue::new(0.1, 0.4, m).unwrap();
+        let s = q.scaled_moments();
+        assert!((s.mean - m.mean / 0.4).abs() / s.mean < 1e-12);
+        assert!((s.second_moment - m.second_moment / 0.16).abs() / s.second_moment < 1e-12);
+        assert!(
+            (s.mean_inverse.unwrap() - m.mean_inverse.unwrap() * 0.4).abs()
+                / s.mean_inverse.unwrap()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn full_rate_task_server_is_plain_mg1 () {
+        let m = base();
+        let lambda = 0.5 / m.mean;
+        let ts = TaskServerQueue::new(lambda, 1.0, m).unwrap();
+        let q = Mg1Fcfs::new(lambda, m).unwrap();
+        assert!((ts.expected_slowdown().unwrap() - q.expected_slowdown().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowing_the_server_raises_slowdown() {
+        let m = base();
+        let lambda = 0.2 / m.mean;
+        let fast = TaskServerQueue::new(lambda, 0.9, m).unwrap().expected_slowdown().unwrap();
+        let slow = TaskServerQueue::new(lambda, 0.4, m).unwrap().expected_slowdown().unwrap();
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn local_stability_boundary() {
+        let m = base();
+        // Load 0.5 of full machine on a task server of rate 0.5 ⇒ u = 1.
+        let lambda = 0.5 / m.mean;
+        let q = TaskServerQueue::new(lambda, 0.5, m).unwrap();
+        assert!(!q.is_stable());
+        assert!(matches!(q.expected_slowdown(), Err(AnalysisError::Unstable { .. })));
+        assert!(matches!(q.expected_slowdown_direct(), Err(AnalysisError::Unstable { .. })));
+    }
+
+    #[test]
+    fn md1_task_server_matches_eq15() {
+        // Paper Eq. 15: E[S_i] = u_i / (2(1 − u_i)) with u_i = λ_i d/r_i.
+        let d = Deterministic::new(1.0).unwrap();
+        let lambda = 0.3;
+        let rate = 0.6;
+        let u = lambda * 1.0 / rate;
+        let q = TaskServerQueue::new(lambda, rate, d.moments()).unwrap();
+        let s = q.expected_slowdown().unwrap();
+        assert!((s - u / (2.0 * (1.0 - u))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lambda_zero_slowdown() {
+        let q = TaskServerQueue::new(0.0, 0.5, base()).unwrap();
+        assert_eq!(q.expected_slowdown().unwrap(), 0.0);
+        assert_eq!(q.expected_slowdown_direct().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(TaskServerQueue::new(0.1, 0.0, base()).is_err());
+        assert!(TaskServerQueue::new(0.1, -0.5, base()).is_err());
+        assert!(TaskServerQueue::new(0.1, f64::NAN, base()).is_err());
+    }
+}

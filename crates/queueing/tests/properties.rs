@@ -1,0 +1,191 @@
+//! Property-based tests of the queueing analysis: the closed forms must
+//! be internally consistent and monotone over the whole parameter space.
+
+use proptest::prelude::*;
+use psd_dist::{BoundedPareto, Deterministic, HigherMoments, ServiceDistribution};
+use psd_queueing::{md1, mm1, pk, variance, AnalysisError, Mg1Fcfs, PriorityMg1, TaskServerQueue};
+
+fn bp() -> impl Strategy<Value = BoundedPareto> {
+    (0.8f64..2.5, 0.01f64..1.0, 1.5f64..4.5)
+        .prop_map(|(a, k, span)| BoundedPareto::new(a, k, k * 10f64.powf(span)).unwrap())
+}
+
+proptest! {
+    /// P–K delay is finite, positive and increasing in λ below saturation.
+    #[test]
+    fn pk_monotone_in_lambda(d in bp(), load1 in 0.01f64..0.99, load2 in 0.01f64..0.99) {
+        let m = d.moments();
+        let (lo, hi) = if load1 <= load2 { (load1, load2) } else { (load2, load1) };
+        prop_assume!(hi - lo > 1e-6);
+        let w_lo = pk::expected_delay(lo / m.mean, &m).unwrap();
+        let w_hi = pk::expected_delay(hi / m.mean, &m).unwrap();
+        prop_assert!(w_lo >= 0.0);
+        prop_assert!(w_hi > w_lo, "delay must increase with load: {w_lo} -> {w_hi}");
+    }
+
+    /// The queue is declared unstable exactly when ρ ≥ 1.
+    #[test]
+    fn stability_boundary(d in bp(), load in 0.5f64..2.0) {
+        let m = d.moments();
+        let q = Mg1Fcfs::new(load / m.mean, m).unwrap();
+        if load < 1.0 {
+            prop_assert!(q.is_stable());
+            prop_assert!(q.expected_delay().is_ok());
+        } else {
+            prop_assert!(!q.is_stable());
+            let unstable = matches!(q.expected_delay(), Err(AnalysisError::Unstable { .. }));
+            prop_assert!(unstable);
+        }
+    }
+
+    /// Lemma 1 factorization: E[S] = E[W] · E[1/X].
+    #[test]
+    fn slowdown_factorizes(d in bp(), load in 0.01f64..0.98) {
+        let m = d.moments();
+        let q = Mg1Fcfs::new(load / m.mean, m).unwrap();
+        let s = q.expected_slowdown().unwrap();
+        let w = q.expected_delay().unwrap();
+        let mi = m.mean_inverse.unwrap();
+        prop_assert!((s - w * mi).abs() <= 1e-9 * s.abs().max(1e-12));
+    }
+
+    /// Theorem 1 equals Lemma 1 applied to the Lemma 2-scaled queue, for
+    /// every rate and load with a stable task server.
+    #[test]
+    fn theorem1_equals_scaled_lemma1(d in bp(), rate in 0.05f64..1.0, util in 0.01f64..0.95) {
+        let m = d.moments();
+        // Choose λ so the task-server utilization is `util`.
+        let lambda = util * rate / m.mean;
+        let ts = TaskServerQueue::new(lambda, rate, m).unwrap();
+        let direct = ts.expected_slowdown_direct().unwrap();
+        let scaled = ts.expected_slowdown().unwrap();
+        prop_assert!((direct - scaled).abs() <= 1e-8 * direct.abs().max(1e-12));
+    }
+
+    /// Task-server slowdown is decreasing in the allocated rate.
+    #[test]
+    fn slowdown_decreasing_in_rate(d in bp(), load in 0.01f64..0.5, r1 in 0.51f64..1.0, r2 in 0.51f64..1.0) {
+        let m = d.moments();
+        let lambda = load / m.mean;
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assume!(hi - lo > 1e-6);
+        let s_lo_rate = TaskServerQueue::new(lambda, lo, m).unwrap().expected_slowdown().unwrap();
+        let s_hi_rate = TaskServerQueue::new(lambda, hi, m).unwrap().expected_slowdown().unwrap();
+        prop_assert!(s_lo_rate > s_hi_rate, "more capacity must lower slowdown");
+    }
+
+    /// The M/D/1 fast path agrees with the generic analysis everywhere.
+    #[test]
+    fn md1_fast_path_consistent(dval in 0.05f64..10.0, rate in 0.05f64..1.0, util in 0.01f64..0.95) {
+        let lambda = util * rate / dval;
+        let fast = md1::expected_slowdown(lambda, dval, rate).unwrap();
+        let det = Deterministic::new(dval).unwrap();
+        let generic = TaskServerQueue::new(lambda, rate, det.moments())
+            .unwrap()
+            .expected_slowdown()
+            .unwrap();
+        prop_assert!((fast - generic).abs() <= 1e-9 * fast.abs().max(1e-12));
+        // And Eq. 15's explicit form.
+        let u = lambda * dval / rate;
+        prop_assert!((fast - u / (2.0 * (1.0 - u))).abs() < 1e-9);
+    }
+
+    /// M/M/1 delay matches the P–K formula with exponential moments, and
+    /// its slowdown is always undefined.
+    #[test]
+    fn mm1_consistency(mu in 0.1f64..10.0, util in 0.01f64..0.95) {
+        let lambda = util * mu;
+        let w = mm1::expected_delay(lambda, mu).unwrap();
+        let exp = psd_dist::Exponential::new(mu).unwrap();
+        let w_pk = pk::expected_delay(lambda, &exp.moments()).unwrap();
+        prop_assert!((w - w_pk).abs() <= 1e-9 * w.abs().max(1e-12));
+        prop_assert_eq!(mm1::expected_slowdown(lambda, mu).unwrap_err(), AnalysisError::SlowdownUndefined);
+    }
+
+    /// Little's law identity within the analysis: E[N_q] = λ·E[W].
+    #[test]
+    fn littles_law(d in bp(), load in 0.01f64..0.95) {
+        let m = d.moments();
+        let lambda = load / m.mean;
+        let nq = pk::expected_queue_length(lambda, &m).unwrap();
+        let w = pk::expected_delay(lambda, &m).unwrap();
+        prop_assert!((nq - lambda * w).abs() <= 1e-9 * nq.abs().max(1e-12));
+    }
+
+    /// Kleinrock's conservation law: Σ ρ_i·E[W_i] under non-preemptive
+    /// priority equals ρ·E[W_FCFS], for any class count and load split.
+    #[test]
+    fn priority_conservation_law(
+        d in bp(),
+        splits in proptest::collection::vec(0.05f64..1.0, 2..5),
+        total_load in 0.05f64..0.9,
+    ) {
+        let m = d.moments();
+        let split_sum: f64 = splits.iter().sum();
+        let lambdas: Vec<f64> =
+            splits.iter().map(|s| s / split_sum * total_load / m.mean).collect();
+        let p = PriorityMg1::homogeneous(lambdas.clone(), m).unwrap();
+        let lhs: f64 = (0..lambdas.len())
+            .map(|i| lambdas[i] * m.mean * p.expected_delay(i).unwrap())
+            .sum();
+        let fcfs = Mg1Fcfs::new(total_load / m.mean, m).unwrap().expected_delay().unwrap();
+        let rhs = total_load * fcfs;
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1e-12), "{lhs} vs {rhs}");
+    }
+
+    /// Priority delays are monotone in class index (lower priority waits
+    /// at least as long).
+    #[test]
+    fn priority_delays_monotone(
+        d in bp(),
+        splits in proptest::collection::vec(0.05f64..1.0, 2..5),
+        total_load in 0.05f64..0.9,
+    ) {
+        let m = d.moments();
+        let split_sum: f64 = splits.iter().sum();
+        let lambdas: Vec<f64> =
+            splits.iter().map(|s| s / split_sum * total_load / m.mean).collect();
+        let n = lambdas.len();
+        let p = PriorityMg1::homogeneous(lambdas, m).unwrap();
+        let mut prev = 0.0;
+        for i in 0..n {
+            let w = p.expected_delay(i).unwrap();
+            prop_assert!(w >= prev - 1e-12, "class {i} waits less than class {}", i.max(1) - 1);
+            prev = w;
+        }
+    }
+
+    /// Slowdown variance is non-negative and increasing in load, for any
+    /// Bounded Pareto.
+    #[test]
+    fn slowdown_variance_monotone(d in bp(), l1 in 0.05f64..0.9, l2 in 0.05f64..0.9) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assume!(hi - lo > 1e-3);
+        let v_lo = variance::slowdown_variance_of(lo / d.mean(), &d).unwrap();
+        let v_hi = variance::slowdown_variance_of(hi / d.mean(), &d).unwrap();
+        prop_assert!(v_lo >= 0.0);
+        prop_assert!(v_hi > v_lo, "variance must grow with load: {v_lo} -> {v_hi}");
+    }
+
+    /// Cantelli bound is monotone: smaller tail probability ⇒ larger
+    /// bound, and the bound is never below the mean.
+    #[test]
+    fn cantelli_monotone(mean in 0.0f64..100.0, var in 0.0f64..1e4, p1 in 0.01f64..0.5, p2 in 0.01f64..0.5) {
+        let (tight, loose) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let b_tight = variance::cantelli_upper_bound(mean, var, tight);
+        let b_loose = variance::cantelli_upper_bound(mean, var, loose);
+        prop_assert!(b_tight >= b_loose - 1e-12);
+        prop_assert!(b_loose >= mean - 1e-12);
+    }
+
+    /// E[W²] ≥ E[W]² always (Jensen), via the Takács second moment.
+    #[test]
+    fn delay_second_moment_jensen(d in bp(), load in 0.05f64..0.9) {
+        let m = d.moments();
+        let lambda = load / m.mean;
+        let third = d.third_moment().unwrap();
+        let w = pk::expected_delay(lambda, &m).unwrap();
+        let w2 = variance::delay_second_moment(lambda, &m, third).unwrap();
+        prop_assert!(w2 >= w * w - 1e-9, "E[W²] {w2} < E[W]² {}", w * w);
+    }
+}

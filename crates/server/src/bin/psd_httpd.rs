@@ -1,0 +1,105 @@
+//! `psd_httpd` — a runnable PSD-scheduled HTTP-lite server.
+//!
+//! ```text
+//! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
+//!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
+//!
+//! Requests are classified by URL (`/class0/...`, `/premium/...`) or an
+//! `X-Class` header; `?cost=2.5` sets the work amount. Responses carry
+//! `X-Delay-Us` and `X-Slowdown` headers.
+//!
+//!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
+//! ```
+//!
+//! Ctrl-C to stop (the process exits without a graceful drain; use the
+//! library API for embedded use).
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use psd_server::{httplite, PsdServer, SchedulerKind, ServerConfig, Workload};
+
+fn main() {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut deltas = vec![1.0, 2.0, 4.0];
+    let mut workers = 1usize;
+    let mut work_unit_us = 300u64;
+    let mut default_cost = 1.0f64;
+    let mut workload = Workload::Sleep;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| die("--addr needs a value")),
+            "--deltas" => {
+                let v = args.next().unwrap_or_else(|| die("--deltas needs a list"));
+                deltas = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| die("bad delta")))
+                    .collect();
+                if deltas.is_empty() {
+                    die("need at least one delta");
+                }
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--work-unit-us" => {
+                work_unit_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--work-unit-us needs an integer"));
+            }
+            "--default-cost" => {
+                default_cost = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--default-cost needs a number"));
+            }
+            "--spin" => workload = Workload::Spin,
+            "--help" | "-h" => {
+                println!(
+                    "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
+                     [--work-unit-us U] [--default-cost C] [--spin]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let server = Arc::new(PsdServer::start(ServerConfig {
+        deltas: deltas.clone(),
+        mean_cost: default_cost,
+        scheduler: SchedulerKind::Wfq,
+        workers,
+        work_unit: Duration::from_micros(work_unit_us),
+        workload,
+        control_window: Duration::from_millis(200),
+        estimator_history: 5,
+    }));
+
+    let listener = TcpListener::bind(&addr)
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "psd_httpd listening on {addr} — {} classes (deltas {deltas:?}), {workers} worker(s), \
+         {work_unit_us}µs/work-unit",
+        deltas.len()
+    );
+    eprintln!("try: curl 'http://{addr}/class0/hello?cost=2'");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Err(e) = httplite::serve(listener, server, default_cost, stop) {
+        die(&format!("accept loop failed: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,80 @@
+//! Request classification for the HTTP-lite front-end.
+//!
+//! Real servers classify by URL prefix, client identity or an explicit
+//! header. We support:
+//!
+//! * an explicit `X-Class: <n>` header,
+//! * a `/classN/...` path prefix,
+//! * tier-name prefixes (`/premium`, `/standard`, `/basic` → 0, 1, 2),
+//! * a default class for everything else.
+
+/// Result of classifying a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Class index (clamped to the server's class count by the caller).
+    pub class: usize,
+}
+
+/// Classify from a request path (no header).
+pub fn classify_path(path: &str, default_class: usize) -> Classification {
+    let trimmed = path.trim_start_matches('/');
+    let first = trimmed.split('/').next().unwrap_or("");
+    if let Some(rest) = first.strip_prefix("class") {
+        if let Ok(n) = rest.parse::<usize>() {
+            return Classification { class: n };
+        }
+    }
+    let class = match first {
+        "premium" | "gold" => 0,
+        "standard" | "silver" => 1,
+        "basic" | "bronze" => 2,
+        _ => default_class,
+    };
+    Classification { class }
+}
+
+/// Classify from header + path: the `X-Class` header wins when present
+/// and parseable.
+pub fn classify(path: &str, x_class_header: Option<&str>, default_class: usize) -> Classification {
+    if let Some(h) = x_class_header {
+        if let Ok(n) = h.trim().parse::<usize>() {
+            return Classification { class: n };
+        }
+    }
+    classify_path(path, default_class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_prefix() {
+        assert_eq!(classify_path("/class0/index.html", 9).class, 0);
+        assert_eq!(classify_path("/class2/a/b", 9).class, 2);
+        assert_eq!(classify_path("/class17", 9).class, 17);
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(classify_path("/premium/cart", 9).class, 0);
+        assert_eq!(classify_path("/gold", 9).class, 0);
+        assert_eq!(classify_path("/standard/x", 9).class, 1);
+        assert_eq!(classify_path("/basic", 9).class, 2);
+    }
+
+    #[test]
+    fn default_fallback() {
+        assert_eq!(classify_path("/images/logo.png", 3).class, 3);
+        assert_eq!(classify_path("/", 1).class, 1);
+        assert_eq!(classify_path("/classless", 4).class, 4, "non-numeric suffix");
+    }
+
+    #[test]
+    fn header_wins() {
+        assert_eq!(classify("/basic", Some("0"), 9).class, 0);
+        assert_eq!(classify("/premium", Some(" 2 "), 9).class, 2);
+        assert_eq!(classify("/premium", Some("junk"), 9).class, 0, "bad header ignored");
+        assert_eq!(classify("/other", None, 5).class, 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! A deliberately tiny HTTP/1.0 front-end for the PSD server: parse the
+//! request line and headers, classify (`X-Class` header or URL prefix),
+//! execute through the PSD dispatch queue, and answer with timing
+//! headers so external clients can observe their slowdown.
+//!
+//! This is not a web server — it exists so the "Internet server" in the
+//! paper's title is an actual socket-accepting program in the examples
+//! and integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use bytes::Bytes;
+
+use crate::classify::classify;
+use crate::server::PsdServer;
+
+/// A parsed HTTP-lite request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// Request method (GET, POST, …) — not interpreted.
+    pub method: String,
+    /// Request path (before `?`).
+    pub path: String,
+    /// `cost` query parameter, if present and parseable.
+    pub cost: Option<f64>,
+    /// `X-Class` header value, if present.
+    pub x_class: Option<String>,
+}
+
+/// Parse the head of an HTTP request (request line + headers).
+pub fn parse_request<R: BufRead>(reader: &mut R) -> std::io::Result<HttpRequest> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/").to_string();
+    if method.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "empty request line"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    let cost = query.as_deref().and_then(|q| {
+        q.split('&')
+            .find_map(|kv| kv.strip_prefix("cost="))
+            .and_then(|v| v.parse::<f64>().ok())
+    });
+    let mut x_class = None;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("x-class") {
+                x_class = Some(value.trim().to_string());
+            }
+        }
+    }
+    Ok(HttpRequest { method, path, cost, x_class })
+}
+
+fn handle_connection(stream: TcpStream, server: &PsdServer, default_cost: f64) {
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let req = match parse_request(&mut reader) {
+        Ok(r) => r,
+        Err(_) => {
+            let _ = stream.write_all(b"HTTP/1.0 400 Bad Request\r\n\r\n");
+            return;
+        }
+    };
+    let class = classify(&req.path, req.x_class.as_deref(), server.num_classes() - 1).class;
+    let cost = req.cost.unwrap_or(default_cost).max(1e-3);
+    match server.submit_sync(class, cost) {
+        Some(done) => {
+            let body = Bytes::from(format!(
+                "served path={} class={} cost={:.3} delay_s={:.6} service_s={:.6} slowdown={:.3}\n",
+                req.path,
+                class,
+                cost,
+                done.delay_s,
+                done.service_s,
+                done.slowdown()
+            ));
+            let head = format!(
+                "HTTP/1.0 200 OK\r\nContent-Length: {}\r\nX-Class: {}\r\nX-Delay-Us: {}\r\nX-Slowdown: {:.4}\r\n\r\n",
+                body.len(),
+                class,
+                (done.delay_s * 1e6) as u64,
+                done.slowdown()
+            );
+            let _ = stream.write_all(head.as_bytes());
+            let _ = stream.write_all(&body);
+        }
+        None => {
+            let _ = stream.write_all(b"HTTP/1.0 503 Service Unavailable\r\n\r\n");
+        }
+    }
+    let _ = peer;
+}
+
+/// Accept loop: serve connections until `stop` flips. One thread per
+/// connection (requests block on the PSD queue anyway).
+pub fn serve(
+    listener: TcpListener,
+    server: Arc<PsdServer>,
+    default_cost: f64,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let server = Arc::clone(&server);
+                thread::spawn(move || handle_connection(stream, &server, default_cost));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let raw = "GET /class1/page?cost=2.5&x=1 HTTP/1.0\r\nHost: a\r\n\r\n";
+        let r = parse_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/class1/page");
+        assert_eq!(r.cost, Some(2.5));
+        assert_eq!(r.x_class, None);
+    }
+
+    #[test]
+    fn parses_x_class_header() {
+        let raw = "POST / HTTP/1.0\r\nX-Class: 2\r\nContent-Length: 0\r\n\r\n";
+        let r = parse_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(r.x_class.as_deref(), Some("2"));
+        assert_eq!(r.cost, None);
+    }
+
+    #[test]
+    fn case_insensitive_header() {
+        let raw = "GET / HTTP/1.0\r\nx-CLASS: 1\r\n\r\n";
+        let r = parse_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(r.x_class.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_request(&mut Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn bad_cost_ignored() {
+        let raw = "GET /?cost=abc HTTP/1.0\r\n\r\n";
+        let r = parse_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(r.cost, None);
+    }
+}

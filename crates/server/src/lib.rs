@@ -1,0 +1,60 @@
+//! # psd-server — a multi-threaded Internet server with PSD scheduling
+//!
+//! The paper's *task server* is "an abstract concept … a child process
+//! in a multi-process server, or a thread in a multi-thread server"
+//! (§1). This crate realizes that abstraction: a real threaded request
+//! server whose dispatch order is driven by a proportional-share
+//! scheduler from [`psd_propshare`], with weights produced online by
+//! the PSD rate allocator from [`psd_core`].
+//!
+//! Architecture (mirrors paper Fig. 1, but with actual threads):
+//!
+//! ```text
+//!  clients / TCP front-end           PsdServer
+//!  ───────────────────────  submit  ┌───────────────────────────────┐
+//!  driver::LoadDriver  ──────────▶  │ classify → per-class backlog  │
+//!  httplite::serve     ──────────▶  │   (ProportionalScheduler)     │
+//!                                   │        ▲ weights              │
+//!                                   │ monitor: window arrival rates │
+//!                                   │   → psd_core::psd_rates       │
+//!                                   │ worker pool: execute request, │
+//!                                   │   record delay / slowdown     │
+//!                                   └───────────────────────────────┘
+//! ```
+//!
+//! Requests carry a *cost* (work units); workers execute them either by
+//! spinning (CPU-bound) or precise sleeping (I/O-like), scaled by a
+//! configurable work-unit duration so tests stay fast.
+//!
+//! ```no_run
+//! use psd_server::{PsdServer, ServerConfig, SchedulerKind, Workload};
+//! use std::time::Duration;
+//!
+//! let cfg = ServerConfig {
+//!     deltas: vec![1.0, 2.0],
+//!     mean_cost: 1.0,
+//!     scheduler: SchedulerKind::Wfq,
+//!     workers: 1,
+//!     work_unit: Duration::from_micros(200),
+//!     workload: Workload::Sleep,
+//!     control_window: Duration::from_millis(50),
+//!     estimator_history: 5,
+//! };
+//! let server = PsdServer::start(cfg);
+//! server.submit(0, 1.0);
+//! let stats = server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod driver;
+pub mod httplite;
+mod metrics;
+mod queues;
+mod server;
+
+pub use classify::{classify_path, Classification};
+pub use metrics::{ClassStats, ServerStats};
+pub use server::{Completion, PsdServer, SchedulerKind, ServerConfig, Workload};

@@ -1,0 +1,118 @@
+//! Measured per-class statistics of the threaded server.
+
+use parking_lot::Mutex;
+use psd_dist::stats::Welford;
+
+/// Snapshot of one class's measured behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean queueing delay in seconds (enqueue → dispatch).
+    pub mean_delay: f64,
+    /// Mean service duration in seconds (dispatch → done).
+    pub mean_service: f64,
+    /// Mean slowdown (delay / service, per request).
+    pub mean_slowdown: f64,
+}
+
+/// Snapshot over all classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Per-class stats, indexed by class.
+    pub classes: Vec<ClassStats>,
+}
+
+impl ServerStats {
+    /// Achieved slowdown ratio of class `i` vs class `j`, if both have
+    /// completions and the denominator is positive.
+    pub fn slowdown_ratio(&self, i: usize, j: usize) -> Option<f64> {
+        let a = &self.classes[i];
+        let b = &self.classes[j];
+        (a.completed > 0 && b.completed > 0 && b.mean_slowdown > 0.0)
+            .then(|| a.mean_slowdown / b.mean_slowdown)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassAccum {
+    delay: Welford,
+    service: Welford,
+    slowdown: Welford,
+}
+
+/// Thread-safe metrics sink shared by the worker pool.
+#[derive(Debug)]
+pub struct MetricsSink {
+    classes: Vec<Mutex<ClassAccum>>,
+}
+
+impl MetricsSink {
+    /// Sink for `n` classes.
+    pub fn new(n: usize) -> Self {
+        Self { classes: (0..n).map(|_| Mutex::new(ClassAccum::default())).collect() }
+    }
+
+    /// Record one completed request (durations in seconds).
+    pub fn record(&self, class: usize, delay_s: f64, service_s: f64) {
+        let mut g = self.classes[class].lock();
+        g.delay.push(delay_s);
+        g.service.push(service_s);
+        // Guard the division: sub-microsecond services can measure as 0.
+        let service = service_s.max(1e-9);
+        g.slowdown.push(delay_s / service);
+    }
+
+    /// Take a consistent-enough snapshot (per-class locks, no global
+    /// freeze — fine for monitoring).
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            classes: self
+                .classes
+                .iter()
+                .map(|m| {
+                    let g = m.lock();
+                    ClassStats {
+                        completed: g.slowdown.count(),
+                        mean_delay: g.delay.mean(),
+                        mean_service: g.service.mean(),
+                        mean_slowdown: g.slowdown.mean(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = MetricsSink::new(2);
+        s.record(0, 1.0, 0.5); // slowdown 2
+        s.record(0, 3.0, 0.5); // slowdown 6
+        s.record(1, 1.0, 1.0); // slowdown 1
+        let snap = s.snapshot();
+        assert_eq!(snap.classes[0].completed, 2);
+        assert!((snap.classes[0].mean_slowdown - 4.0).abs() < 1e-12);
+        assert!((snap.classes[0].mean_delay - 2.0).abs() < 1e-12);
+        assert_eq!(snap.classes[1].completed, 1);
+        assert_eq!(snap.slowdown_ratio(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn empty_ratio_is_none() {
+        let s = MetricsSink::new(2);
+        s.record(0, 1.0, 1.0);
+        assert!(s.snapshot().slowdown_ratio(0, 1).is_none());
+    }
+
+    #[test]
+    fn zero_service_guarded() {
+        let s = MetricsSink::new(1);
+        s.record(0, 1.0, 0.0);
+        assert!(s.snapshot().classes[0].mean_slowdown.is_finite());
+    }
+}

@@ -1,0 +1,297 @@
+//! The [`PsdServer`] facade: worker pool + dispatch queue + online PSD
+//! rate monitor.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use psd_core::allocation::psd_rates_clamped;
+use psd_core::estimator::LoadEstimator;
+use psd_propshare::{Drr, Lottery, ProportionalScheduler, Stride, Wfq};
+
+use crate::metrics::{MetricsSink, ServerStats};
+use crate::queues::{DispatchQueue, QueuedRequest};
+
+/// Which proportional-share kernel drives the worker dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Start-time fair queueing (default; deterministic, near-GPS).
+    Wfq,
+    /// Lottery scheduling with the given seed.
+    Lottery(u64),
+    /// Stride scheduling.
+    Stride,
+    /// Deficit round robin with the given base quantum (work units).
+    Drr(f64),
+}
+
+/// How workers "execute" a request's work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Busy-spin (CPU-bound, like dynamic content generation).
+    Spin,
+    /// Precise sleep (I/O-bound; cheap for tests).
+    Sleep,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Differentiation parameters, one per class (class 0 highest).
+    pub deltas: Vec<f64>,
+    /// Mean request cost in work units (the allocator's `E[X]`, in the
+    /// same units clients use for `submit`).
+    pub mean_cost: f64,
+    /// Dispatch kernel.
+    pub scheduler: SchedulerKind,
+    /// Worker threads (the machine's "capacity").
+    pub workers: usize,
+    /// Wall-clock duration of one work unit on one worker.
+    pub work_unit: Duration,
+    /// Spin or sleep execution.
+    pub workload: Workload,
+    /// Monitor window (the paper's 1000-time-unit estimator window).
+    pub control_window: Duration,
+    /// Estimator history in windows (paper: 5).
+    pub estimator_history: usize,
+}
+
+/// Completion receipt for synchronous submitters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Queueing delay in seconds.
+    pub delay_s: f64,
+    /// Service duration in seconds.
+    pub service_s: f64,
+}
+
+impl Completion {
+    /// Measured slowdown of this request.
+    pub fn slowdown(&self) -> f64 {
+        self.delay_s / self.service_s.max(1e-9)
+    }
+}
+
+/// A running PSD server.
+pub struct PsdServer {
+    queue: Arc<DispatchQueue>,
+    metrics: Arc<MetricsSink>,
+    window_arrivals: Arc<Vec<AtomicU64>>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+    n_classes: usize,
+}
+
+impl PsdServer {
+    /// Start workers and the rate monitor.
+    pub fn start(cfg: ServerConfig) -> Self {
+        assert!(!cfg.deltas.is_empty(), "at least one class");
+        assert!(cfg.workers >= 1, "at least one worker");
+        assert!(cfg.mean_cost > 0.0, "mean cost must be positive");
+        let n = cfg.deltas.len();
+        let scheduler: Box<dyn ProportionalScheduler + Send> = match cfg.scheduler {
+            SchedulerKind::Wfq => Box::new(Wfq::new(vec![1.0; n])),
+            SchedulerKind::Lottery(seed) => Box::new(Lottery::new(vec![1.0; n], seed)),
+            SchedulerKind::Stride => Box::new(Stride::new(vec![1.0; n])),
+            SchedulerKind::Drr(q) => Box::new(Drr::new(vec![1.0; n], q)),
+        };
+        let queue = Arc::new(DispatchQueue::new(scheduler));
+        let metrics = Arc::new(MetricsSink::new(n));
+        let window_arrivals: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let work_unit = cfg.work_unit;
+                let workload = cfg.workload;
+                thread::spawn(move || worker_loop(&queue, &metrics, work_unit, workload))
+            })
+            .collect();
+
+        let monitor = {
+            let queue = Arc::clone(&queue);
+            let arrivals = Arc::clone(&window_arrivals);
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            Some(thread::spawn(move || monitor_loop(&cfg, &queue, &arrivals, &stop)))
+        };
+
+        Self { queue, metrics, window_arrivals, stop, workers, monitor, n_classes: n }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Fire-and-forget submission. Returns `false` after shutdown began.
+    pub fn submit(&self, class: usize, cost: f64) -> bool {
+        self.submit_inner(class, cost, None)
+    }
+
+    /// Submit and receive a [`Completion`] receipt when the request has
+    /// executed (used by the HTTP front-end).
+    pub fn submit_sync(&self, class: usize, cost: f64) -> Option<Completion> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if !self.submit_inner(class, cost, Some(tx)) {
+            return None;
+        }
+        rx.recv().ok()
+    }
+
+    fn submit_inner(&self, class: usize, cost: f64, notify: Option<Sender<Completion>>) -> bool {
+        assert!(cost.is_finite() && cost > 0.0, "request cost must be positive");
+        let class = class.min(self.n_classes - 1);
+        self.window_arrivals[class].fetch_add(1, Ordering::Relaxed);
+        self.queue.push(QueuedRequest { class, cost, enqueued: Instant::now(), notify })
+    }
+
+    /// Live statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// Backlog of one class.
+    pub fn backlog(&self, class: usize) -> usize {
+        self.queue.backlog(class)
+    }
+
+    /// Drain pending work, stop all threads, return final statistics.
+    pub fn shutdown(self) -> ServerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(m) = self.monitor {
+            let _ = m.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+fn worker_loop(
+    queue: &DispatchQueue,
+    metrics: &MetricsSink,
+    work_unit: Duration,
+    workload: Workload,
+) {
+    while let Some(req) = queue.pop() {
+        let dispatched = Instant::now();
+        let delay_s = dispatched.duration_since(req.enqueued).as_secs_f64();
+        let target = work_unit.mul_f64(req.cost);
+        match workload {
+            Workload::Sleep => thread::sleep(target),
+            Workload::Spin => {
+                let until = dispatched + target;
+                while Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let service_s = dispatched.elapsed().as_secs_f64();
+        metrics.record(req.class, delay_s, service_s);
+        if let Some(tx) = req.notify {
+            let _ = tx.send(Completion { delay_s, service_s });
+        }
+    }
+}
+
+fn monitor_loop(
+    cfg: &ServerConfig,
+    queue: &DispatchQueue,
+    arrivals: &[AtomicU64],
+    stop: &AtomicBool,
+) {
+    let n = cfg.deltas.len();
+    let mut estimator = LoadEstimator::new(n, cfg.estimator_history);
+    // Effective "mean service time" as a fraction of pool capacity per
+    // second: one request occupies one worker for cost·work_unit, and
+    // there are `workers` workers.
+    let mean_service_s = cfg.mean_cost * cfg.work_unit.as_secs_f64() / cfg.workers as f64;
+    while !stop.load(Ordering::SeqCst) {
+        thread::sleep(cfg.control_window);
+        let window_s = cfg.control_window.as_secs_f64();
+        let rates: Vec<f64> = arrivals
+            .iter()
+            .map(|a| a.swap(0, Ordering::Relaxed) as f64 / window_s)
+            .collect();
+        estimator.observe(&rates);
+        let est = estimator.estimate().expect("observed at least one window");
+        if let Ok(weights) = psd_rates_clamped(&est, &cfg.deltas, mean_service_s, 1e-4, 0.02) {
+            queue.set_weights(&weights);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(deltas: Vec<f64>) -> ServerConfig {
+        ServerConfig {
+            deltas,
+            mean_cost: 1.0,
+            scheduler: SchedulerKind::Wfq,
+            workers: 1,
+            work_unit: Duration::from_micros(200),
+            workload: Workload::Sleep,
+            control_window: Duration::from_millis(20),
+            estimator_history: 3,
+        }
+    }
+
+    #[test]
+    fn starts_executes_and_shuts_down() {
+        let s = PsdServer::start(quick_cfg(vec![1.0, 2.0]));
+        for i in 0..50 {
+            assert!(s.submit(i % 2, 1.0));
+        }
+        let stats = s.shutdown();
+        let total: u64 = stats.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(total, 50, "all submitted requests execute before shutdown");
+    }
+
+    #[test]
+    fn submit_sync_returns_receipt() {
+        let s = PsdServer::start(quick_cfg(vec![1.0]));
+        let c = s.submit_sync(0, 2.0).unwrap();
+        assert!(c.service_s >= 0.0003, "2 work units ≈ 400µs, got {}", c.service_s);
+        assert!(c.delay_s >= 0.0);
+        s.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_class_clamped() {
+        let s = PsdServer::start(quick_cfg(vec![1.0, 2.0]));
+        assert!(s.submit(99, 1.0));
+        let stats = s.shutdown();
+        assert_eq!(stats.classes[1].completed, 1, "clamped to the last class");
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_gracefully() {
+        let s = PsdServer::start(quick_cfg(vec![1.0]));
+        let queue = Arc::clone(&s.queue);
+        s.shutdown();
+        assert!(!queue.push(QueuedRequest {
+            class: 0,
+            cost: 1.0,
+            enqueued: Instant::now(),
+            notify: None
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be positive")]
+    fn bad_cost_rejected() {
+        let s = PsdServer::start(quick_cfg(vec![1.0]));
+        s.submit(0, 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! What happens as the server approaches — and crosses — saturation?
+//!
+//! The Eq. 17 allocation requires total load ρ < 1. This example sweeps
+//! ρ up to 0.98 to show the 1/(1−ρ) blow-up that the paper's Figures
+//! 2–4 display on a log axis, then pushes the *online* controller into
+//! transient overload (a bursty class) to demonstrate the documented
+//! graceful degradation: the controller falls back to load-proportional
+//! shares instead of failing.
+//!
+//! Run with: `cargo run --release --example overload_study`
+
+use psd::core::allocation::{psd_rates, AllocationError};
+use psd::core::config::PsdConfig;
+use psd::core::experiment::Experiment;
+use psd::dist::{BoundedPareto, ServiceDistribution};
+
+fn main() {
+    println!("Part 1 — slowdown vs load (deltas (1,2), the 1/(1-rho) wall)\n");
+    println!("{:>7} {:>12} {:>12} {:>12}", "load%", "sim class1", "sim class2", "expected c1");
+    for load in [0.5, 0.7, 0.8, 0.9, 0.95, 0.98] {
+        let cfg = PsdConfig::equal_load(&[1.0, 2.0], load).with_horizon(15_000.0, 2_000.0);
+        let report = Experiment::new(cfg).runs(6).base_seed(3).run();
+        let sim = report.mean_slowdowns();
+        let exp = report.expected_slowdowns().expect("stable below 1");
+        println!(
+            "{:>7.0} {:>12.2} {:>12.2} {:>12.2}",
+            load * 100.0,
+            sim[0],
+            sim[1],
+            exp[0]
+        );
+    }
+
+    println!("\nPart 2 — the allocator refuses infeasible loads:\n");
+    let bp = BoundedPareto::paper_default();
+    let ex = bp.mean();
+    match psd_rates(&[0.6 / ex, 0.6 / ex], &[1.0, 2.0], ex) {
+        Err(AllocationError::Infeasible { total_load }) => {
+            println!("  psd_rates at rho = {total_load:.2}: Err(Infeasible) — as designed.");
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    println!("\nPart 3 — online controller under transient overload:\n");
+    // Nominal load 0.9; the estimator will occasionally see windows that
+    // look overloaded under the heavy-tailed sizes. The clamped
+    // allocator falls back to load-proportional shares in those windows
+    // rather than panicking, and differentiation recovers afterwards.
+    let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.9).with_horizon(20_000.0, 2_000.0);
+    let report = Experiment::new(cfg).runs(6).base_seed(11).run();
+    let sim = report.mean_slowdowns();
+    println!(
+        "  at rho = 0.90 the run completes with slowdowns ({:.1}, {:.1}), ratio {:.2}",
+        sim[0],
+        sim[1],
+        sim[1] / sim[0]
+    );
+    println!("  (target ratio 2.0; estimation error at high load widens the spread —");
+    println!("   exactly the controllability caveat of the paper's Figure 9).");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: proportional slowdown differentiation in ~40 lines.
+//!
+//! Two request classes share one server. Class 1 pays for premium
+//! service (δ₁ = 1); class 2 is best-effort (δ₂ = 2). The PSD rate
+//! allocator keeps class 2's average slowdown at twice class 1's —
+//! regardless of the load level — by re-dividing the processing rate
+//! every control window.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psd::core::config::PsdConfig;
+use psd::core::experiment::Experiment;
+
+fn main() {
+    println!("PSD quickstart: 2 classes, deltas (1, 2), BP(1.5, 0.1, 100) service\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "load%", "sim class1", "exp class1", "sim class2", "exp class2", "ratio"
+    );
+    for load in [0.3, 0.5, 0.7, 0.9] {
+        // The paper's setup, shortened from 61k to 20k time units so the
+        // example finishes in seconds.
+        let cfg = PsdConfig::equal_load(&[1.0, 2.0], load).with_horizon(20_000.0, 2_000.0);
+        let report = Experiment::new(cfg).runs(10).base_seed(1).run();
+
+        let sim = report.mean_slowdowns();
+        let exp = report.expected_slowdowns().expect("closed form exists for Bounded Pareto");
+        println!(
+            "{:>7.0} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>9.3}",
+            load * 100.0,
+            sim[0],
+            exp[0],
+            sim[1],
+            exp[1],
+            sim[1] / sim[0],
+        );
+    }
+    println!("\nThe achieved ratio stays near delta2/delta1 = 2 across loads —");
+    println!("that is the predictability property the paper's Eq. (17) provides.");
+}

@@ -1,0 +1,48 @@
+//! # psd — proportional slowdown differentiation on Internet servers
+//!
+//! A full reproduction of **Zhou, Wei & Xu, "Processing Rate Allocation
+//! for Proportional Slowdown Differentiation on Internet Servers"
+//! (IPDPS 2004)** as a Rust workspace. This facade crate re-exports the
+//! member crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`dist`] | Bounded Pareto & friends, exact moments, arrival processes, PRNGs |
+//! | [`queueing`] | M/G/1 FCFS analysis: P–K delay, slowdown closed forms (Lemma 1/2, Thm 1) |
+//! | [`desim`] | discrete-event simulator: fluid task servers, generators, metrics |
+//! | [`propshare`] | GPS / WFQ / Lottery / Stride / DRR scheduling substrate |
+//! | [`core`] | the paper's contribution: Eq. 17 allocator, Eq. 18 model, estimator, controller |
+//! | [`server`] | threaded Internet-server substrate with online PSD reallocation |
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use psd::core::config::PsdConfig;
+//! use psd::core::experiment::Experiment;
+//!
+//! // Two classes with differentiation parameters (1, 2) sharing a
+//! // 70%-loaded server, Bounded-Pareto service times BP(1.5, 0.1, 100).
+//! let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.7)
+//!     .with_horizon(6_000.0, 1_000.0); // shortened for the doctest
+//! let report = Experiment::new(cfg).runs(4).base_seed(42).run();
+//!
+//! let sim = report.mean_slowdowns();
+//! let exp = report.expected_slowdowns().unwrap();
+//! // The rate-allocation strategy keeps class 2 at about twice the
+//! // slowdown of class 1, matching the model's prediction.
+//! assert!(sim[1] > sim[0]);
+//! assert!((exp[1] / exp[0] - 2.0).abs() < 1e-9);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every figure in the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use psd_core as core;
+pub use psd_desim as desim;
+pub use psd_dist as dist;
+pub use psd_propshare as propshare;
+pub use psd_queueing as queueing;
+pub use psd_server as server;

@@ -1,0 +1,96 @@
+//! PSD beyond the Bounded Pareto: the model and allocator apply to any
+//! service distribution with finite `E[1/X]` — log-normal fits of Web
+//! traces and empirical trace replay included. (And they must keep
+//! *refusing* distributions where the slowdown has no closed form.)
+
+use psd::core::config::{ClassConfig, PsdConfig};
+use psd::core::experiment::Experiment;
+use psd::dist::{
+    fit, BoundedPareto, Empirical, LogNormal, ServiceDist, ServiceDistribution,
+};
+
+fn two_class_cfg(service: ServiceDist, load: f64) -> PsdConfig {
+    let per = load / 2.0;
+    PsdConfig::new(
+        vec![ClassConfig { delta: 1.0, load: per }, ClassConfig { delta: 2.0, load: per }],
+        service,
+    )
+    .with_horizon(30_000.0, 4_000.0)
+}
+
+/// Log-normal service: Eq. 18 exists and the simulation tracks it.
+#[test]
+fn lognormal_psd_end_to_end() {
+    let ln = LogNormal::with_mean_scv(0.3, 4.0).unwrap();
+    let cfg = two_class_cfg(ServiceDist::LogNormal(ln), 0.6);
+    let exp = cfg.expected_slowdowns().expect("log-normal has finite E[1/X]");
+    assert!((exp[1] / exp[0] - 2.0).abs() < 1e-9);
+    let rep = Experiment::new(cfg).runs(12).base_seed(900).run();
+    let sim = rep.mean_slowdowns();
+    for i in 0..2 {
+        let rel = (sim[i] - exp[i]).abs() / exp[i];
+        assert!(rel < 0.35, "class {i}: sim {} vs exp {} (rel {rel:.2})", sim[i], exp[i]);
+    }
+    assert!(sim[1] > sim[0]);
+}
+
+/// Trace replay: fit nothing — resample an observed BP trace through
+/// [`Empirical`] and the PSD pipeline still differentiates, with the
+/// model fed by the trace's own sample moments.
+#[test]
+fn empirical_trace_replay() {
+    use psd::dist::rng::Xoshiro256pp;
+    let bp = BoundedPareto::paper_default();
+    let mut rng = Xoshiro256pp::seed_from(123);
+    let trace: Vec<f64> = (0..100_000).map(|_| bp.sample(&mut rng)).collect();
+    let emp = Empirical::from_trace(&trace).unwrap();
+
+    let cfg = two_class_cfg(ServiceDist::Empirical(emp), 0.6);
+    let exp = cfg.expected_slowdowns().expect("sample moments are finite");
+    assert!((exp[1] / exp[0] - 2.0).abs() < 1e-9);
+
+    let rep = Experiment::new(cfg).runs(10).base_seed(901).run();
+    let sim = rep.mean_slowdowns();
+    assert!(
+        sim[1] > 1.2 * sim[0],
+        "replayed trace must still differentiate: {sim:?}"
+    );
+}
+
+/// The characterization pipeline: sample a workload, fit α by MLE, and
+/// verify the *fitted* model's slowdown predictions agree with the true
+/// model within the fit error.
+#[test]
+fn fit_then_predict() {
+    use psd::dist::rng::Xoshiro256pp;
+    use psd::queueing::Mg1Fcfs;
+    let truth = BoundedPareto::paper_default();
+    let mut rng = Xoshiro256pp::seed_from(55);
+    let trace: Vec<f64> = (0..60_000).map(|_| truth.sample(&mut rng)).collect();
+    let fitted = fit::fit_bounded_pareto_alpha(&trace, 0.1, 100.0).unwrap();
+
+    let load = 0.6;
+    let s_true = Mg1Fcfs::new(load / truth.mean(), truth.moments())
+        .unwrap()
+        .expected_slowdown()
+        .unwrap();
+    let s_fit = Mg1Fcfs::new(load / fitted.mean(), fitted.moments())
+        .unwrap()
+        .expected_slowdown()
+        .unwrap();
+    let rel = (s_true - s_fit).abs() / s_true;
+    assert!(rel < 0.15, "fitted-model slowdown {s_fit} vs true {s_true} (rel {rel:.3})");
+}
+
+/// Exponential and H2 service are rejected through the whole facade.
+#[test]
+fn divergent_workloads_rejected_at_config_level() {
+    use psd::dist::{Exponential, HyperExponential};
+    for service in [
+        ServiceDist::Exponential(Exponential::new(1.0).unwrap()),
+        ServiceDist::HyperExponential(HyperExponential::h2_balanced(1.0, 4.0).unwrap()),
+    ] {
+        let cfg = two_class_cfg(service, 0.5);
+        assert!(cfg.expected_slowdowns().is_err(), "no closed form must be reported");
+    }
+}

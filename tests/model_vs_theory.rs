@@ -1,0 +1,94 @@
+//! Cross-crate consistency: the analytical chain (dist → queueing →
+//! core model) agrees with itself and with the simulator, and the
+//! paper's negative results are enforced end to end.
+
+use psd::core::allocation::psd_rates;
+use psd::core::model::{ModelError, PsdModel};
+use psd::dist::{BoundedPareto, Exponential, ServiceDistribution};
+use psd::queueing::{AnalysisError, Mg1Fcfs, TaskServerQueue};
+
+/// Eq. 18 equals Theorem 1 applied to the Eq. 17 rates, across a grid
+/// of parameters (the derivation's algebra, machine-checked).
+#[test]
+fn model_chain_consistency_grid() {
+    let bp = BoundedPareto::paper_default();
+    let moments = bp.moments();
+    let ex = moments.mean;
+    for deltas in [vec![1.0, 2.0], vec![1.0, 4.0], vec![1.0, 2.0, 3.0], vec![1.0, 1.5, 2.5, 8.0]] {
+        for &total_load in &[0.2, 0.5, 0.8, 0.95] {
+            let n = deltas.len();
+            let lambdas: Vec<f64> = (0..n).map(|_| total_load / n as f64 / ex).collect();
+            let model = PsdModel::new(&deltas, moments).unwrap();
+            let predicted = model.expected_slowdowns(&lambdas).unwrap();
+            let rates = psd_rates(&lambdas, &deltas, ex).unwrap();
+            assert!((rates.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for i in 0..n {
+                let via_queue = TaskServerQueue::new(lambdas[i], rates[i], moments)
+                    .unwrap()
+                    .expected_slowdown()
+                    .unwrap();
+                let rel = (predicted[i] - via_queue).abs() / via_queue;
+                assert!(
+                    rel < 1e-9,
+                    "deltas {deltas:?} load {total_load} class {i}: {} vs {via_queue}",
+                    predicted[i]
+                );
+            }
+            // And the ratios are exactly the delta ratios.
+            for i in 1..n {
+                let r = predicted[i] / predicted[0];
+                assert!((r - deltas[i] / deltas[0]).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+/// A single class at full rate reduces to the plain M/G_B/1 queue.
+#[test]
+fn single_class_degenerates_to_mg1() {
+    let bp = BoundedPareto::paper_default();
+    let m = bp.moments();
+    let lambda = 0.7 / m.mean;
+    let model = PsdModel::new(&[1.0], m).unwrap();
+    let s_model = model.expected_slowdowns(&[lambda]).unwrap()[0];
+    let s_queue = Mg1Fcfs::new(lambda, m).unwrap().expected_slowdown().unwrap();
+    assert!((s_model - s_queue).abs() / s_queue < 1e-12);
+    let rates = model.rates(&[lambda]).unwrap();
+    assert!((rates[0] - 1.0).abs() < 1e-12, "one class gets the whole server");
+}
+
+/// The paper's §5 negative result holds through every layer: no
+/// slowdown model exists for exponential service.
+#[test]
+fn exponential_rejected_everywhere() {
+    let e = Exponential::new(1.0).unwrap();
+    let m = e.moments();
+    assert!(m.mean_inverse.is_none(), "dist layer");
+    let q = Mg1Fcfs::new(0.5, m).unwrap();
+    assert_eq!(q.expected_slowdown().unwrap_err(), AnalysisError::SlowdownUndefined, "queueing layer");
+    assert!(
+        matches!(
+            PsdModel::new(&[1.0, 2.0], m),
+            Err(ModelError::Analysis(AnalysisError::SlowdownUndefined))
+        ),
+        "model layer"
+    );
+}
+
+/// Sensitivity directions of §4.5 hold in the closed forms: slowdown
+/// decreases in α and increases in the upper bound p.
+#[test]
+fn shape_and_bound_sensitivity() {
+    let lambda_load = 0.6;
+    let slowdown = |alpha: f64, p: f64| {
+        let bp = BoundedPareto::new(alpha, 0.1, p).unwrap();
+        let m = bp.moments();
+        Mg1Fcfs::new(lambda_load / m.mean, m).unwrap().expected_slowdown().unwrap()
+    };
+    // α up ⇒ slowdown down.
+    assert!(slowdown(1.2, 100.0) > slowdown(1.5, 100.0));
+    assert!(slowdown(1.5, 100.0) > slowdown(1.9, 100.0));
+    // p up ⇒ slowdown up.
+    assert!(slowdown(1.5, 1_000.0) > slowdown(1.5, 100.0));
+    assert!(slowdown(1.5, 10_000.0) > slowdown(1.5, 1_000.0));
+}
