@@ -12,25 +12,29 @@ fn bench_raw_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("desim_engine");
     group.sample_size(10);
     for &load in &[0.5, 0.9] {
-        group.bench_with_input(BenchmarkId::new("two_class_5k_tu", (load * 100.0) as u64), &load, |b, &load| {
-            b.iter(|| {
-                let service = ServiceDist::paper_default();
-                let ex = psd_dist::ServiceDistribution::mean(&service);
-                let lambda = load / 2.0 / ex;
-                let cfg = SimConfig {
-                    classes: vec![
-                        ClassSpec::poisson(lambda, service.clone()),
-                        ClassSpec::poisson(lambda, service),
-                    ],
-                    end_time: 5_000.0 * ex,
-                    warmup: 500.0 * ex,
-                    control_period: 1_000.0 * ex,
-                    seed: 7,
-                    ..SimConfig::default()
-                };
-                Simulation::new(cfg, Box::new(StaticRates::even(2))).run()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("two_class_5k_tu", (load * 100.0) as u64),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let service = ServiceDist::paper_default();
+                    let ex = psd_dist::ServiceDistribution::mean(&service);
+                    let lambda = load / 2.0 / ex;
+                    let cfg = SimConfig {
+                        classes: vec![
+                            ClassSpec::poisson(lambda, service.clone()),
+                            ClassSpec::poisson(lambda, service),
+                        ],
+                        end_time: 5_000.0 * ex,
+                        warmup: 500.0 * ex,
+                        control_period: 1_000.0 * ex,
+                        seed: 7,
+                        ..SimConfig::default()
+                    };
+                    Simulation::new(cfg, Box::new(StaticRates::even(2))).run()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -83,9 +83,7 @@ pub fn fluid_vs_pinned(params: &HarnessParams) -> Table {
         let (mut s0, mut s1, mut n) = (0.0, 0.0, 0u64);
         for run in 0..params.runs {
             let r = run_once(&cfg, SplitMix64::derive(params.seed ^ 0xf1d, run));
-            if let (Some(a), Some(b)) =
-                (r.classes[0].mean_slowdown, r.classes[1].mean_slowdown)
-            {
+            if let (Some(a), Some(b)) = (r.classes[0].mean_slowdown, r.classes[1].mean_slowdown) {
                 s0 += a;
                 s1 += b;
                 n += 1;
@@ -104,16 +102,21 @@ pub fn baselines(params: &HarnessParams) -> Table {
         "Achieved slowdown ratio (target 2.0) per allocator, load 70%",
         &["allocator", "sim_c1", "sim_c2", "achieved_ratio"],
     );
-    t.note("allocator: 0=PSD(Eq.17) 1=EqualShare 2=LoadProportional 3=BacklogProp 4=StrictPriority");
+    t.note(
+        "allocator: 0=PSD(Eq.17) 1=EqualShare 2=LoadProportional 3=BacklogProp 4=StrictPriority",
+    );
     let (end, warm) = params.horizon();
     let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.7).with_horizon(end, warm);
     let ex = cfg.service.mean();
     type ControllerFactory = Box<dyn Fn() -> Box<dyn RateController>>;
     let make: Vec<(f64, ControllerFactory)> = vec![
-        (0.0, Box::new({
-            let cfg = cfg.clone();
-            move || Box::new(cfg.controller()) as Box<dyn RateController>
-        })),
+        (
+            0.0,
+            Box::new({
+                let cfg = cfg.clone();
+                move || Box::new(cfg.controller()) as Box<dyn RateController>
+            }),
+        ),
         (1.0, Box::new(|| Box::new(EqualShare))),
         (2.0, Box::new(|| Box::new(LoadProportional::new(5)))),
         (3.0, Box::new(|| Box::new(BacklogProportional::new(vec![1.0, 2.0], 1e-3)))),
@@ -122,14 +125,9 @@ pub fn baselines(params: &HarnessParams) -> Table {
     for (code, factory) in make {
         let (mut s0, mut s1, mut n) = (0.0, 0.0, 0u64);
         for run in 0..params.runs {
-            let r = run_with_controller(
-                &cfg,
-                SplitMix64::derive(params.seed ^ 0xba5e, run),
-                factory(),
-            );
-            if let (Some(a), Some(b)) =
-                (r.classes[0].mean_slowdown, r.classes[1].mean_slowdown)
-            {
+            let r =
+                run_with_controller(&cfg, SplitMix64::derive(params.seed ^ 0xba5e, run), factory());
+            if let (Some(a), Some(b)) = (r.classes[0].mean_slowdown, r.classes[1].mean_slowdown) {
                 s0 += a;
                 s1 += b;
                 n += 1;
@@ -165,7 +163,11 @@ pub fn feedback_gain(params: &HarnessParams) -> Table {
                 FeedbackParams { gain, ..Default::default() },
             )
             .with_nominal_lambdas(lambdas.clone());
-            let r = run_with_controller(&cfg, SplitMix64::derive(params.seed ^ 0xfee, run), Box::new(ctl));
+            let r = run_with_controller(
+                &cfg,
+                SplitMix64::derive(params.seed ^ 0xfee, run),
+                Box::new(ctl),
+            );
             if let (Some(a), Some(b)) = (r.classes[0].mean_slowdown, r.classes[1].mean_slowdown) {
                 s0 += a;
                 s1 += b;
@@ -173,8 +175,11 @@ pub fn feedback_gain(params: &HarnessParams) -> Table {
             }
             pooled.extend(&r.window_ratios_vs_class0[1]);
         }
-        let (p5, p50, p95) =
-            psd_dist::stats::percentile_triple(&mut pooled).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let (p5, p50, p95) = psd_dist::stats::percentile_triple(&mut pooled).unwrap_or((
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ));
         t.push_row(vec![gain, (s1 / n.max(1) as f64) / (s0 / n.max(1) as f64), p5, p50, p95]);
     }
     t
@@ -207,7 +212,10 @@ pub fn load_step(params: &HarnessParams) -> Table {
                         },
                         service: service.clone(),
                     },
-                    ClassSpec { arrival: ArrivalSpec::Poisson { rate: 0.2 / ex }, service: service.clone() },
+                    ClassSpec {
+                        arrival: ArrivalSpec::Poisson { rate: 0.2 / ex },
+                        service: service.clone(),
+                    },
                 ],
                 end_time: 50.0 * window,
                 warmup: 0.0,

@@ -80,7 +80,10 @@ fn main() {
             for n in &t.notes {
                 short.note(n.clone());
             }
-            short.note(format!("({} trace rows; first 30 shown, full set in --json output)", t.rows.len()));
+            short.note(format!(
+                "({} trace rows; first 30 shown, full set in --json output)",
+                t.rows.len()
+            ));
             for r in t.rows.iter().take(30) {
                 short.push_row(r.clone());
             }

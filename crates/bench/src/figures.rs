@@ -12,11 +12,12 @@ use psd_dist::{BoundedPareto, ServiceDist};
 use crate::table::Table;
 use crate::HarnessParams;
 
-fn experiment(cfg: PsdConfig, params: &HarnessParams, salt: u64) -> psd_core::experiment::ExperimentReport {
-    Experiment::new(cfg)
-        .runs(params.runs)
-        .base_seed(params.seed.wrapping_add(salt))
-        .run()
+fn experiment(
+    cfg: PsdConfig,
+    params: &HarnessParams,
+    salt: u64,
+) -> psd_core::experiment::ExperimentReport {
+    Experiment::new(cfg).runs(params.runs).base_seed(params.seed.wrapping_add(salt)).run()
 }
 
 fn sweep_config(deltas: &[f64], load: f64, params: &HarnessParams) -> PsdConfig {
@@ -89,8 +90,8 @@ pub fn fig5(params: &HarnessParams) -> Table {
         "fig5",
         "Percentiles of simulated slowdown ratios for two classes",
         &[
-            "load%", "p5_r2", "p50_r2", "p95_r2", "p5_r4", "p50_r4", "p95_r4", "p5_r8",
-            "p50_r8", "p95_r8",
+            "load%", "p5_r2", "p50_r2", "p95_r2", "p5_r4", "p50_r4", "p95_r4", "p5_r8", "p50_r8",
+            "p95_r8",
         ],
     );
     t.note(format!("per-window (1000 TU) ratios pooled over {} runs", params.runs));

@@ -48,8 +48,7 @@ impl Table {
             out.push_str(&format!("   # {n}\n"));
         }
         let width = 14usize;
-        let header: Vec<String> =
-            self.columns.iter().map(|c| format!("{c:>width$}")).collect();
+        let header: Vec<String> = self.columns.iter().map(|c| format!("{c:>width$}")).collect();
         out.push_str(&header.join(" "));
         out.push('\n');
         for row in &self.rows {

@@ -67,7 +67,9 @@ fn validate(lambdas: &[f64], deltas: &[f64], mean_service: f64) -> Result<(), Al
     for (i, &d) in deltas.iter().enumerate() {
         if !(d.is_finite() && d > 0.0) {
             return Err(AllocationError::InvalidInput {
-                reason: format!("differentiation parameter of class {i} must be finite and > 0, got {d}"),
+                reason: format!(
+                    "differentiation parameter of class {i} must be finite and > 0, got {d}"
+                ),
             });
         }
     }
@@ -305,7 +307,9 @@ mod tests {
     #[test]
     fn infeasible_load_rejected() {
         let err = psd_rates(&[2.0, 2.0], &[1.0, 2.0], 0.3).unwrap_err();
-        assert!(matches!(err, AllocationError::Infeasible { total_load } if (total_load - 1.2).abs() < 1e-12));
+        assert!(
+            matches!(err, AllocationError::Infeasible { total_load } if (total_load - 1.2).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -408,8 +412,7 @@ mod tests {
     fn heterogeneous_rejects_divergent_class() {
         let good = BoundedPareto::paper_default().moments();
         let bad = psd_dist::Exponential::new(1.0).unwrap().moments();
-        let err =
-            psd_rates_heterogeneous(&[0.1, 0.1], &[1.0, 2.0], &[good, bad]).unwrap_err();
+        let err = psd_rates_heterogeneous(&[0.1, 0.1], &[1.0, 2.0], &[good, bad]).unwrap_err();
         assert!(matches!(err, AllocationError::InvalidInput { .. }));
     }
 

@@ -89,12 +89,8 @@ impl RateController for BacklogProportional {
     }
 
     fn reallocate(&mut self, _now: f64, w: &WindowObservation) -> Option<Vec<f64>> {
-        let weights: Vec<f64> = w
-            .backlog
-            .iter()
-            .zip(&self.deltas)
-            .map(|(&b, d)| b as f64 / d)
-            .collect();
+        let weights: Vec<f64> =
+            w.backlog.iter().zip(&self.deltas).map(|(&b, d)| b as f64 / d).collect();
         let total: f64 = weights.iter().sum();
         let n = weights.len();
         let mut rates: Vec<f64> = if total == 0.0 {

@@ -152,11 +152,8 @@ impl PsdConfig {
 
     /// Build the online PSD controller for this configuration.
     pub fn controller(&self) -> PsdController {
-        let c = PsdController::new(
-            self.deltas(),
-            self.service.mean(),
-            self.controller_params.clone(),
-        );
+        let c =
+            PsdController::new(self.deltas(), self.service.mean(), self.controller_params.clone());
         if self.warm_start {
             c.with_nominal_lambdas(self.lambdas())
         } else {

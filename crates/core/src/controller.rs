@@ -281,12 +281,9 @@ mod tests {
         assert!(r[1] > r[0], "bigger jobs need more capacity: {r:?}");
         assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Cross-check against the pure allocation.
-        let want = crate::allocation::psd_rates_heterogeneous(
-            &[0.2, 0.2],
-            &[1.0, 1.0],
-            &[m_fast, m_slow],
-        )
-        .unwrap();
+        let want =
+            crate::allocation::psd_rates_heterogeneous(&[0.2, 0.2], &[1.0, 1.0], &[m_fast, m_slow])
+                .unwrap();
         for (a, b) in r.iter().zip(&want) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -91,7 +91,8 @@ impl Experiment {
             });
         }
 
-        let runs: Vec<PsdReport> = reports.into_iter().map(|r| r.expect("all runs filled")).collect();
+        let runs: Vec<PsdReport> =
+            reports.into_iter().map(|r| r.expect("all runs filled")).collect();
         ExperimentReport { config: self.config, runs }
     }
 }
@@ -145,11 +146,8 @@ impl ExperimentReport {
     /// Percentiles `(p5, p50, p95)` of the per-window slowdown ratio of
     /// class `i` vs class 0, pooled across runs (paper Figs 5/6).
     pub fn ratio_percentiles_vs_class0(&self, i: usize) -> Option<(f64, f64, f64)> {
-        let mut pooled: Vec<f64> = self
-            .runs
-            .iter()
-            .flat_map(|r| r.window_ratios_vs_class0[i].iter().copied())
-            .collect();
+        let mut pooled: Vec<f64> =
+            self.runs.iter().flat_map(|r| r.window_ratios_vs_class0[i].iter().copied()).collect();
         if pooled.is_empty() {
             return None;
         }

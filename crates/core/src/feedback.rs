@@ -64,7 +64,14 @@ impl FeedbackPsdController {
         assert!(params.integral_clamp > 0.0, "clamp must be positive");
         let n = deltas.len();
         let estimator = LoadEstimator::new(n, params.base.estimator_history);
-        Self { deltas, mean_service, params, estimator, integral: vec![0.0; n], nominal_lambdas: None }
+        Self {
+            deltas,
+            mean_service,
+            params,
+            estimator,
+            integral: vec![0.0; n],
+            nominal_lambdas: None,
+        }
     }
 
     /// Warm-start with nominal arrival rates (like the base controller).
@@ -82,11 +89,8 @@ impl FeedbackPsdController {
     fn update_integral(&mut self, window: &WindowObservation) {
         let means = window.mean_slowdowns();
         // Normalized slowdowns x_i = S_i/δ_i for classes with data.
-        let xs: Vec<Option<f64>> = means
-            .iter()
-            .zip(&self.deltas)
-            .map(|(m, d)| m.map(|s| s / d))
-            .collect();
+        let xs: Vec<Option<f64>> =
+            means.iter().zip(&self.deltas).map(|(m, d)| m.map(|s| s / d)).collect();
         let present: Vec<f64> = xs.iter().filter_map(|x| *x).collect();
         if present.len() < 2 {
             return; // no cross-class information in this window
@@ -176,7 +180,8 @@ mod tests {
 
     fn window_with_slowdowns(arrivals: Vec<u64>, slowdowns: Vec<Option<f64>>) -> WindowObservation {
         let n = arrivals.len();
-        let completions: Vec<u64> = slowdowns.iter().map(|s| if s.is_some() { 10 } else { 0 }).collect();
+        let completions: Vec<u64> =
+            slowdowns.iter().map(|s| if s.is_some() { 10 } else { 0 }).collect();
         let slowdown_sums: Vec<f64> =
             slowdowns.iter().map(|s| s.map_or(0.0, |x| x * 10.0)).collect();
         WindowObservation {

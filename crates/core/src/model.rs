@@ -135,9 +135,7 @@ impl PsdModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psd_dist::{
-        BoundedPareto, Deterministic, Exponential, Pareto, ServiceDistribution,
-    };
+    use psd_dist::{BoundedPareto, Deterministic, Exponential, Pareto, ServiceDistribution};
     use psd_queueing::TaskServerQueue;
 
     fn bp_model(deltas: &[f64]) -> PsdModel {
@@ -197,14 +195,10 @@ mod tests {
         let moments = BoundedPareto::paper_default().moments();
         let ex = moments.mean;
         let lambdas = [0.3 / ex, 0.3 / ex];
-        let before = PsdModel::new(&[1.0, 2.0], moments)
-            .unwrap()
-            .expected_slowdowns(&lambdas)
-            .unwrap();
-        let after = PsdModel::new(&[1.0, 4.0], moments)
-            .unwrap()
-            .expected_slowdowns(&lambdas)
-            .unwrap();
+        let before =
+            PsdModel::new(&[1.0, 2.0], moments).unwrap().expected_slowdowns(&lambdas).unwrap();
+        let after =
+            PsdModel::new(&[1.0, 4.0], moments).unwrap().expected_slowdowns(&lambdas).unwrap();
         assert!(after[1] > before[1], "its own slowdown increases");
         assert!(after[0] < before[0], "the other class improves");
     }

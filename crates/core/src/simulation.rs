@@ -79,17 +79,16 @@ mod tests {
             s0 += r.classes[0].mean_slowdown.unwrap();
             s1 += r.classes[1].mean_slowdown.unwrap();
         }
-        assert!(
-            s1 > 1.3 * s0,
-            "class 1 (δ=2) should see distinctly higher slowdown: {s0} vs {s1}"
-        );
+        assert!(s1 > 1.3 * s0, "class 1 (δ=2) should see distinctly higher slowdown: {s0} vs {s1}");
     }
 
     #[test]
     fn equal_share_does_not_differentiate() {
         let cfg = short_cfg();
         let (mut s0, mut s1) = (0.0, 0.0);
-        for seed in 0..8 {
+        // Heavy-tailed per-run means are noisy on the short horizon, so
+        // average enough seeds for the ratio to concentrate.
+        for seed in 0..24 {
             let r = run_with_controller(&cfg, seed, Box::new(EqualShare));
             s0 += r.classes[0].mean_slowdown.unwrap();
             s1 += r.classes[1].mean_slowdown.unwrap();

@@ -27,10 +27,7 @@ fn controller_tracks_load_step() {
                 },
                 service: service.clone(),
             },
-            ClassSpec {
-                arrival: ArrivalSpec::Poisson { rate: 0.2 / ex },
-                service,
-            },
+            ClassSpec { arrival: ArrivalSpec::Poisson { rate: 0.2 / ex }, service },
         ],
         end_time: 60.0 * window,
         warmup: 5.0 * window,

@@ -11,10 +11,7 @@ use psd_dist::{BoundedPareto, ServiceDistribution};
 /// Random class systems: (deltas, per-class loads) with total load < 1.
 fn class_system() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     (2usize..6).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0.2f64..16.0, n),
-            proptest::collection::vec(0.01f64..1.0, n),
-        )
+        (proptest::collection::vec(0.2f64..16.0, n), proptest::collection::vec(0.01f64..1.0, n))
             .prop_map(|(deltas, raw)| {
                 let total: f64 = raw.iter().sum();
                 // Normalize to a random total load in (0.05, 0.95).

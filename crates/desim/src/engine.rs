@@ -166,10 +166,7 @@ impl Simulation {
                             events.schedule(t, Event::Completion { class, epoch });
                         }
                     }
-                    events.schedule(
-                        state.generator.next_arrival_time(),
-                        Event::Arrival { class },
-                    );
+                    events.schedule(state.generator.next_arrival_time(), Event::Arrival { class });
                 }
                 Event::Completion { class, epoch } => {
                     let state = &mut classes[class];

@@ -1,7 +1,9 @@
 //! Open-loop request generators: one per class, pairing an arrival
 //! process with a service-size distribution.
 
-use psd_dist::arrival::{ArrivalProcess, DeterministicArrivals, Mmpp2, PoissonProcess, StepPoisson};
+use psd_dist::arrival::{
+    ArrivalProcess, DeterministicArrivals, Mmpp2, PoissonProcess, StepPoisson,
+};
 use psd_dist::rng::Xoshiro256pp;
 use psd_dist::{ServiceDist, ServiceDistribution};
 
@@ -61,9 +63,9 @@ impl ArrivalSpec {
             ArrivalSpec::Deterministic { interval } => {
                 Box::new(DeterministicArrivals::new(*interval).expect("validated by SimConfig"))
             }
-            ArrivalSpec::Bursty { mean_rate, burstiness, sojourn } => {
-                Box::new(Mmpp2::bursty(*mean_rate, *burstiness, *sojourn).expect("validated by SimConfig"))
-            }
+            ArrivalSpec::Bursty { mean_rate, burstiness, sojourn } => Box::new(
+                Mmpp2::bursty(*mean_rate, *burstiness, *sojourn).expect("validated by SimConfig"),
+            ),
             ArrivalSpec::Step { rate_before, rate_after, switch_at } => Box::new(
                 StepPoisson::new(*rate_before, *rate_after, *switch_at)
                     .expect("validated by SimConfig"),

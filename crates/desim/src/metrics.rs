@@ -270,7 +270,7 @@ mod tests {
         m.on_departure(&done(0, 0.0, 1.0, 2.0)); // s=1, win 0
         m.on_departure(&done(1, 0.0, 2.0, 3.0)); // s=2, win 0
         m.on_departure(&done(0, 10.0, 11.0, 12.0)); // s=1, win 1
-        // class 1 empty in win 1 -> skipped
+                                                    // class 1 empty in win 1 -> skipped
         let out = m.finish(20.0, vec![]);
         assert_eq!(out.slowdown_ratio(1, 0), Some(2.0));
         assert_eq!(out.window_ratios(1, 0), vec![2.0]);

@@ -261,4 +261,16 @@ mod tests {
         let mut s = TaskServer::new(1.0, ServiceMode::Fluid);
         assert!(s.complete(1.0, 0).is_none());
     }
+
+    #[test]
+    fn introspection_accessors_track_state() {
+        let mut s = TaskServer::new(0.75, ServiceMode::Fluid);
+        assert_eq!(s.rate(), 0.75);
+        let e0 = s.epoch();
+        s.start_service(req(1.0), 0.0);
+        assert_eq!(s.epoch(), e0 + 1, "starting service bumps the epoch");
+        s.set_rate(0.5, 0.5);
+        assert_eq!(s.rate(), 0.5);
+        assert_eq!(s.epoch(), e0 + 2, "rescheduling bumps the epoch");
+    }
 }

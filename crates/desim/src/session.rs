@@ -72,7 +72,12 @@ impl SessionConfig {
         assert!(self.end_time > self.warmup && self.warmup >= 0.0, "bad horizon");
         assert!(self.control_period > 0.0, "bad control period");
         for (i, s) in self.states.iter().enumerate() {
-            assert!(s.class < self.n_classes, "state {i} routes to class {} >= {}", s.class, self.n_classes);
+            assert!(
+                s.class < self.n_classes,
+                "state {i} routes to class {} >= {}",
+                s.class,
+                self.n_classes
+            );
             assert!(s.mean_think >= 0.0 && s.mean_think.is_finite(), "state {i} bad think time");
             assert_eq!(s.next.len(), self.states.len(), "state {i} transition row length");
             let sum: f64 = s.next.iter().sum();

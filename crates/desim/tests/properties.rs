@@ -9,8 +9,9 @@ use psd_dist::{BoundedPareto, Deterministic, ServiceDist, UniformService};
 fn service_dist() -> impl Strategy<Value = ServiceDist> {
     prop_oneof![
         (0.05f64..2.0).prop_map(|v| ServiceDist::Deterministic(Deterministic::new(v).unwrap())),
-        (1.0f64..2.2, 0.01f64..0.5)
-            .prop_map(|(a, k)| ServiceDist::BoundedPareto(BoundedPareto::new(a, k, k * 500.0).unwrap())),
+        (1.0f64..2.2, 0.01f64..0.5).prop_map(|(a, k)| ServiceDist::BoundedPareto(
+            BoundedPareto::new(a, k, k * 500.0).unwrap()
+        )),
         (0.05f64..1.0, 2.0f64..5.0)
             .prop_map(|(a, f)| ServiceDist::Uniform(UniformService::new(a, a * f).unwrap())),
     ]

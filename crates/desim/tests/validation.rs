@@ -9,7 +9,13 @@ use psd_desim::{ClassSpec, SimConfig, Simulation, StaticRates};
 use psd_dist::{BoundedPareto, Deterministic, ServiceDist, ServiceDistribution};
 use psd_queueing::{Mg1Fcfs, TaskServerQueue};
 
-fn run_single_class(service: ServiceDist, lambda: f64, rate: f64, seed: u64, end: f64) -> psd_desim::SimOutput {
+fn run_single_class(
+    service: ServiceDist,
+    lambda: f64,
+    rate: f64,
+    seed: u64,
+    end: f64,
+) -> psd_desim::SimOutput {
     let cfg = SimConfig {
         classes: vec![ClassSpec::poisson(lambda, service)],
         end_time: end,

@@ -1,0 +1,361 @@
+//! Light-tailed service distributions: deterministic, exponential,
+//! two-phase hyperexponential and uniform.
+//!
+//! Deterministic service is the M/D/1 reduction of paper Eq. 15;
+//! exponential and hyperexponential are the §5 counter-examples whose
+//! `E[1/X]` diverges (no slowdown closed form); uniform is a
+//! well-behaved alternative workload with every moment finite.
+
+use crate::rng::Xoshiro256pp;
+use crate::{DistError, HigherMoments, Moments, ServiceDistribution};
+
+/// Constant service time `X ≡ d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Constant service time `value > 0`.
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(DistError::invalid(format!(
+                "deterministic service time must be finite and > 0, got {value}"
+            )));
+        }
+        Ok(Self { value })
+    }
+
+    /// The constant value `d`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl ServiceDistribution for Deterministic {
+    fn sample(&self, _rng: &mut Xoshiro256pp) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn moments(&self) -> Moments {
+        Moments {
+            mean: self.value,
+            second_moment: self.value * self.value,
+            mean_inverse: Some(1.0 / self.value),
+        }
+    }
+}
+
+impl HigherMoments for Deterministic {
+    fn third_moment(&self) -> Option<f64> {
+        Some(self.value.powi(3))
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        Some(1.0 / (self.value * self.value))
+    }
+}
+
+/// Exponential service with **rate** `μ` (mean `1/μ`).
+///
+/// `E[1/X]` diverges (`∫ x^{-1} μ e^{-μx} dx` blows up at 0), so
+/// [`Moments::mean_inverse`] is `None` — the paper's §5 negative
+/// result, surfaced at the distribution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Exponential with rate `rate > 0`.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(DistError::invalid(format!(
+                "exponential rate must be finite and > 0, got {rate}"
+            )));
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate `μ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ServiceDistribution for Exponential {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        -rng.next_open_f64().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn moments(&self) -> Moments {
+        Moments {
+            mean: 1.0 / self.rate,
+            second_moment: 2.0 / (self.rate * self.rate),
+            mean_inverse: None,
+        }
+    }
+}
+
+impl HigherMoments for Exponential {
+    fn third_moment(&self) -> Option<f64> {
+        Some(6.0 / self.rate.powi(3))
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Two-phase hyperexponential `H2` with *balanced means*
+/// (`p₁/μ₁ = p₂/μ₂`), parameterized by its mean and squared coefficient
+/// of variation `SCV = Var[X]/E[X]² ≥ 1`.
+///
+/// Like the exponential, each phase's density is positive at 0, so
+/// `E[1/X]` diverges and no slowdown closed form exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    p1: f64,
+    mu1: f64,
+    mu2: f64,
+}
+
+impl HyperExponential {
+    /// Balanced-means `H2` with the given `mean > 0` and `scv ≥ 1`.
+    pub fn h2_balanced(mean: f64, scv: f64) -> Result<Self, DistError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::invalid(format!("H2 mean must be finite and > 0, got {mean}")));
+        }
+        if !(scv.is_finite() && scv >= 1.0) {
+            return Err(DistError::invalid(format!(
+                "H2 squared coefficient of variation must be >= 1, got {scv}"
+            )));
+        }
+        // Standard balanced-means fit (e.g. Allen, "Probability,
+        // Statistics, and Queueing Theory"):
+        //   p1 = (1 + sqrt((scv-1)/(scv+1)))/2, mu_i = 2 p_i / mean.
+        let p1 = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+        let mu1 = 2.0 * p1 / mean;
+        let mu2 = 2.0 * (1.0 - p1) / mean;
+        Ok(Self { p1, mu1, mu2 })
+    }
+
+    /// Branch probability of the first phase.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+}
+
+impl ServiceDistribution for HyperExponential {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        let mu = if rng.next_f64() < self.p1 { self.mu1 } else { self.mu2 };
+        -rng.next_open_f64().ln() / mu
+    }
+
+    fn mean(&self) -> f64 {
+        self.p1 / self.mu1 + (1.0 - self.p1) / self.mu2
+    }
+
+    fn moments(&self) -> Moments {
+        let p2 = 1.0 - self.p1;
+        Moments {
+            mean: self.mean(),
+            second_moment: 2.0 * (self.p1 / (self.mu1 * self.mu1) + p2 / (self.mu2 * self.mu2)),
+            mean_inverse: None,
+        }
+    }
+}
+
+impl HigherMoments for HyperExponential {
+    fn third_moment(&self) -> Option<f64> {
+        let p2 = 1.0 - self.p1;
+        Some(6.0 * (self.p1 / self.mu1.powi(3) + p2 / self.mu2.powi(3)))
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Uniform service times on `[a, b]` with `0 < a < b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformService {
+    a: f64,
+    b: f64,
+}
+
+impl UniformService {
+    /// Uniform on `[a, b]`; requires `0 < a < b < ∞` so that `E[1/X]`
+    /// stays finite.
+    pub fn new(a: f64, b: f64) -> Result<Self, DistError> {
+        if !(a.is_finite() && b.is_finite() && 0.0 < a && a < b) {
+            return Err(DistError::invalid(format!(
+                "uniform service interval needs 0 < a < b < inf, got [{a}, {b}]"
+            )));
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Lower endpoint.
+    pub fn lower(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper endpoint.
+    pub fn upper(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ServiceDistribution for UniformService {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.a + rng.next_f64() * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn moments(&self) -> Moments {
+        let (a, b) = (self.a, self.b);
+        Moments {
+            mean: 0.5 * (a + b),
+            second_moment: (a * a + a * b + b * b) / 3.0,
+            // E[1/X] = ln(b/a) / (b - a).
+            mean_inverse: Some((b / a).ln() / (b - a)),
+        }
+    }
+}
+
+impl HigherMoments for UniformService {
+    fn third_moment(&self) -> Option<f64> {
+        let (a, b) = (self.a, self.b);
+        Some((a.powi(3) + a * a * b + a * b * b + b.powi(3)) / 4.0)
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        Some(1.0 / (self.a * self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_basics() {
+        let d = Deterministic::new(2.0).unwrap();
+        assert_eq!(d.value(), 2.0);
+        let m = d.moments();
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.second_moment, 4.0);
+        assert_eq!(m.mean_inverse, Some(0.5));
+        assert_eq!(d.third_moment(), Some(8.0));
+        assert_eq!(d.mean_inverse_square(), Some(0.25));
+        let mut rng = Xoshiro256pp::seed_from(1);
+        assert_eq!(d.sample(&mut rng), 2.0);
+        assert!(Deterministic::new(0.0).is_err());
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponential_moments_and_divergence() {
+        let e = Exponential::new(2.0).unwrap();
+        assert_eq!(e.rate(), 2.0);
+        let m = e.moments();
+        assert_eq!(m.mean, 0.5);
+        assert_eq!(m.second_moment, 0.5);
+        assert_eq!(m.mean_inverse, None, "E[1/X] diverges (paper section 5)");
+        assert_eq!(e.mean_inverse_square(), None);
+        assert_eq!(e.third_moment(), Some(6.0 / 8.0));
+        assert!(Exponential::new(0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_sampling_mean() {
+        let e = Exponential::new(4.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(9);
+        let n = 200_000;
+        let mean = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() / 0.25 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn h2_hits_requested_mean_and_scv() {
+        let mean = 1.3;
+        let scv = 4.0;
+        let h = HyperExponential::h2_balanced(mean, scv).unwrap();
+        let m = h.moments();
+        assert!((m.mean - mean).abs() < 1e-12);
+        let var = m.second_moment - m.mean * m.mean;
+        assert!((var / (m.mean * m.mean) - scv).abs() < 1e-10, "scv {}", var / (m.mean * m.mean));
+        assert_eq!(m.mean_inverse, None);
+        // Balanced means: both phases contribute mean/2.
+        assert!((h.p1() / 2.0 * mean / h.p1() - mean / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2_scv_one_is_exponential() {
+        let h = HyperExponential::h2_balanced(2.0, 1.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        let (hm, em) = (h.moments(), e.moments());
+        assert!((hm.mean - em.mean).abs() < 1e-12);
+        assert!((hm.second_moment - em.second_moment).abs() < 1e-9);
+        assert!(HyperExponential::h2_balanced(1.0, 0.5).is_err(), "scv < 1 impossible for H2");
+    }
+
+    #[test]
+    fn h2_sampling_matches_moments() {
+        let h = HyperExponential::h2_balanced(1.0, 4.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(77);
+        let n = 300_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = h.sample(&mut rng);
+            s1 += x;
+            s2 += x * x;
+        }
+        let nf = n as f64;
+        let m = h.moments();
+        assert!((s1 / nf - m.mean).abs() / m.mean < 0.02);
+        assert!((s2 / nf - m.second_moment).abs() / m.second_moment < 0.06);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let u = UniformService::new(1.0, 3.0).unwrap();
+        assert_eq!(u.lower(), 1.0);
+        assert_eq!(u.upper(), 3.0);
+        let m = u.moments();
+        assert_eq!(m.mean, 2.0);
+        assert!((m.second_moment - 13.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_inverse.unwrap() - 3.0f64.ln() / 2.0).abs() < 1e-12);
+        assert!((u.third_moment().unwrap() - (1.0 + 3.0 + 9.0 + 27.0) / 4.0).abs() < 1e-12);
+        assert!((u.mean_inverse_square().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(UniformService::new(0.0, 1.0).is_err(), "a = 0 diverges E[1/X]");
+        assert!(UniformService::new(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_sampling_in_bounds() {
+        let u = UniformService::new(0.5, 1.5).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(13);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = u.sample(&mut rng);
+            assert!((0.5..1.5).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 1.0).abs() < 0.01);
+    }
+}

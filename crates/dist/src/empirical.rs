@@ -1,0 +1,156 @@
+//! Empirical (trace-replay) service distribution: resample an observed
+//! trace uniformly with replacement and feed the PSD model with the
+//! trace's own sample moments — workload characterization without
+//! committing to a parametric family.
+
+use std::sync::Arc;
+
+use crate::rng::Xoshiro256pp;
+use crate::{DistError, HigherMoments, Moments, ServiceDistribution};
+
+/// A service distribution backed by an observed trace of sizes.
+///
+/// Cloning is cheap (the trace is reference-counted), so an
+/// [`Empirical`] can be embedded in per-class simulator configs that
+/// are cloned per replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    trace: Arc<Vec<f64>>,
+    moments: Moments,
+    third: f64,
+    mean_inverse_square: f64,
+}
+
+impl Empirical {
+    /// Build from a trace of observed sizes; every entry must be finite
+    /// and strictly positive (a zero size would blow up `E[1/X]` and
+    /// the slowdown metric itself).
+    pub fn from_trace(trace: &[f64]) -> Result<Self, DistError> {
+        if trace.is_empty() {
+            return Err(DistError::invalid("empirical trace must be non-empty".to_string()));
+        }
+        let n = trace.len() as f64;
+        let (mut s1, mut s2, mut s3, mut sinv, mut sinv2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (i, &x) in trace.iter().enumerate() {
+            if !(x.is_finite() && x > 0.0) {
+                return Err(DistError::invalid(format!(
+                    "trace entry {i} must be finite and > 0, got {x}"
+                )));
+            }
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+            sinv += 1.0 / x;
+            sinv2 += 1.0 / (x * x);
+        }
+        Ok(Self {
+            trace: Arc::new(trace.to_vec()),
+            moments: Moments { mean: s1 / n, second_moment: s2 / n, mean_inverse: Some(sinv / n) },
+            third: s3 / n,
+            mean_inverse_square: sinv2 / n,
+        })
+    }
+
+    /// Number of observations in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// True when the trace is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// The backing trace.
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+}
+
+impl ServiceDistribution for Empirical {
+    /// Uniform resampling with replacement (the bootstrap view of the
+    /// trace as a distribution).
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        let idx = (rng.next_f64() * self.trace.len() as f64) as usize;
+        // next_f64 < 1.0 keeps idx < len; clamp defensively anyway.
+        self.trace[idx.min(self.trace.len() - 1)]
+    }
+
+    fn mean(&self) -> f64 {
+        self.moments.mean
+    }
+
+    fn moments(&self) -> Moments {
+        self.moments
+    }
+}
+
+impl HigherMoments for Empirical {
+    fn third_moment(&self) -> Option<f64> {
+        Some(self.third)
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        Some(self.mean_inverse_square)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_moments_are_exact() {
+        let e = Empirical::from_trace(&[1.0, 2.0, 4.0]).unwrap();
+        let m = e.moments();
+        assert!((m.mean - 7.0 / 3.0).abs() < 1e-12);
+        assert!((m.second_moment - 21.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_inverse.unwrap() - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);
+        assert!((e.third_moment().unwrap() - (1.0 + 8.0 + 64.0) / 3.0).abs() < 1e-12);
+        assert!((e.mean_inverse_square().unwrap() - (1.0 + 0.25 + 0.0625) / 3.0).abs() < 1e-12);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        assert_eq!(e.trace(), &[1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn resampling_only_produces_trace_values() {
+        let e = Empirical::from_trace(&[0.5, 1.5]).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(21);
+        let mut seen = [false; 2];
+        for _ in 0..1000 {
+            let x = e.sample(&mut rng);
+            assert!(x == 0.5 || x == 1.5);
+            seen[usize::from(x == 1.5)] = true;
+        }
+        assert!(seen[0] && seen[1], "both trace values should appear");
+    }
+
+    #[test]
+    fn resampled_mean_converges_to_trace_mean() {
+        let trace: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let e = Empirical::from_trace(&trace).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(8);
+        let n = 200_000;
+        let mean = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - e.mean()).abs() / e.mean() < 0.01);
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        assert!(Empirical::from_trace(&[]).is_err());
+        assert!(Empirical::from_trace(&[1.0, 0.0]).is_err());
+        assert!(Empirical::from_trace(&[1.0, -2.0]).is_err());
+        assert!(Empirical::from_trace(&[f64::NAN]).is_err());
+        assert!(Empirical::from_trace(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn clones_share_the_trace() {
+        let trace: Vec<f64> = vec![1.0; 10_000];
+        let a = Empirical::from_trace(&trace).unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.trace, &b.trace), "clone must not copy the trace");
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload characterization: maximum-likelihood fitting of the
+//! Bounded Pareto shape parameter from an observed trace.
+//!
+//! The paper assumes the server *knows* its service distribution; a
+//! real deployment has to estimate it. Given the support `[k, p]`
+//! (usually known from minimum/maximum observable request sizes), the
+//! log-likelihood of `BP(α, k, p)` over a trace `x₁..x_n` is
+//!
+//! ```text
+//! ℓ(α) = n ln α + n α ln k − (α+1) Σ ln xᵢ − n ln(1 − (k/p)^α)
+//! ```
+//!
+//! and `ℓ'(α) = 0` reduces to a strictly decreasing scalar equation,
+//! solved here by bisection (robust; no derivatives of the truncation
+//! term needed).
+
+use crate::pareto::BoundedPareto;
+use crate::DistError;
+
+/// Fit `α` of `BP(α, k, p)` by MLE, with the support `[k, p]` given.
+///
+/// Errors on an empty trace, on observations outside `(0, ∞)`, or when
+/// the likelihood equation has no root in the search bracket
+/// `α ∈ [1e-3, 64]` (degenerate traces, e.g. all observations equal to
+/// `k`).
+pub fn fit_bounded_pareto_alpha(trace: &[f64], k: f64, p: f64) -> Result<BoundedPareto, DistError> {
+    if trace.is_empty() {
+        return Err(DistError::invalid("cannot fit an empty trace".to_string()));
+    }
+    if !(k.is_finite() && p.is_finite() && 0.0 < k && k < p) {
+        return Err(DistError::invalid(format!(
+            "fit support needs 0 < k < p < inf, got k={k}, p={p}"
+        )));
+    }
+    let n = trace.len() as f64;
+    let mut sum_ln = 0.0;
+    for (i, &x) in trace.iter().enumerate() {
+        if !(x.is_finite() && x > 0.0) {
+            return Err(DistError::invalid(format!(
+                "trace entry {i} must be finite and > 0, got {x}"
+            )));
+        }
+        sum_ln += x.ln();
+    }
+
+    // Score function ℓ'(α)/1: n/α + n ln k − Σ ln xᵢ + n L r^α/(1 − r^α)
+    // with r = k/p, L = ln r < 0. Strictly decreasing in α; +∞ at 0⁺ and
+    // → n ln k − Σ ln xᵢ < 0 as α → ∞ whenever the trace is not glued
+    // to k.
+    let r = k / p;
+    let ell = r.ln();
+    let score = |alpha: f64| -> f64 {
+        let ra = r.powf(alpha);
+        n / alpha + n * k.ln() - sum_ln + n * ell * ra / (1.0 - ra)
+    };
+
+    let (mut lo, mut hi) = (1e-3, 64.0);
+    if score(lo) <= 0.0 || score(hi) >= 0.0 {
+        return Err(DistError::invalid(
+            "likelihood equation has no root in [1e-3, 64]; trace incompatible with the support"
+                .to_string(),
+        ));
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if score(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    BoundedPareto::new(0.5 * (lo + hi), k, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::ServiceDistribution;
+
+    #[test]
+    fn recovers_known_alpha() {
+        let truth = BoundedPareto::new(1.5, 0.1, 100.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from(99);
+        let trace: Vec<f64> = (0..80_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_bounded_pareto_alpha(&trace, 0.1, 100.0).unwrap();
+        assert!(
+            (fitted.alpha() - 1.5).abs() < 0.03,
+            "fitted alpha {} should be near 1.5",
+            fitted.alpha()
+        );
+    }
+
+    #[test]
+    fn recovers_other_shapes() {
+        for &alpha in &[0.9, 1.2, 2.2] {
+            let truth = BoundedPareto::new(alpha, 0.05, 500.0).unwrap();
+            let mut rng = Xoshiro256pp::seed_from(1000 + (alpha * 10.0) as u64);
+            let trace: Vec<f64> = (0..60_000).map(|_| truth.sample(&mut rng)).collect();
+            let fitted = fit_bounded_pareto_alpha(&trace, 0.05, 500.0).unwrap();
+            assert!(
+                (fitted.alpha() - alpha).abs() / alpha < 0.05,
+                "alpha {alpha}: fitted {}",
+                fitted.alpha()
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_moments_close_to_truth() {
+        let truth = BoundedPareto::paper_default();
+        let mut rng = Xoshiro256pp::seed_from(55);
+        let trace: Vec<f64> = (0..60_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_bounded_pareto_alpha(&trace, 0.1, 100.0).unwrap();
+        let (mt, mf) = (truth.moments(), fitted.moments());
+        assert!((mt.mean - mf.mean).abs() / mt.mean < 0.05);
+        assert!(
+            (mt.mean_inverse.unwrap() - mf.mean_inverse.unwrap()).abs() / mt.mean_inverse.unwrap()
+                < 0.05
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(fit_bounded_pareto_alpha(&[], 0.1, 100.0).is_err());
+        assert!(fit_bounded_pareto_alpha(&[1.0], 1.0, 0.5).is_err());
+        assert!(fit_bounded_pareto_alpha(&[0.0], 0.1, 100.0).is_err());
+        // All mass at k: score stays positive, no interior root.
+        assert!(fit_bounded_pareto_alpha(&[0.1; 100], 0.1, 100.0).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! # psd-dist — service distributions, moments, arrivals and PRNGs
+//!
+//! The statistical foundation of the PSD reproduction (Zhou/Wei/Xu,
+//! *Processing Rate Allocation for Proportional Slowdown
+//! Differentiation on Internet Servers*, IPDPS 2004). Everything the
+//! paper's model needs lives here:
+//!
+//! * **Service distributions** — [`BoundedPareto`] (the paper's
+//!   `BP(1.5, 0.1, 100)` workload, with *exact closed-form* moments
+//!   including the `E[1/X]` that Eq. 18 hinges on), plus
+//!   [`Pareto`], [`Exponential`], [`Deterministic`],
+//!   [`HyperExponential`], [`UniformService`], [`LogNormal`] and
+//!   trace-replay [`Empirical`], all behind [`ServiceDistribution`]
+//!   and the clonable [`ServiceDist`] sum type.
+//! * **Moments** — [`Moments`] carries `E[X]`, `E[X²]` and the
+//!   possibly-divergent `E[1/X]`; [`HigherMoments`] adds `E[X³]` and
+//!   `E[1/X²]` for the variance analysis. [`Moments::scaled_by_rate`]
+//!   is Lemma 2's task-server scaling law.
+//! * **Arrival processes** — [`arrival`]: Poisson, deterministic,
+//!   bursty MMPP-2 and load-step streams.
+//! * **Randomness** — [`rng`]: zero-dependency `xoshiro256++` +
+//!   SplitMix64 seed derivation, bit-reproducible across platforms and
+//!   thread counts.
+//! * **Statistics** — [`stats`]: Welford accumulators and the
+//!   percentile helpers behind the paper's Figures 5/6.
+//!
+//! ```
+//! use psd_dist::{BoundedPareto, ServiceDistribution};
+//!
+//! let bp = BoundedPareto::paper_default();          // BP(1.5, 0.1, 100)
+//! let m = bp.moments();
+//! assert!((m.mean - 0.2905).abs() < 1e-3);          // E[X]
+//! assert!(m.mean_inverse.is_some());                // E[1/X] exists
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+mod basic;
+mod empirical;
+pub mod fit;
+mod lognormal;
+mod pareto;
+pub mod rng;
+pub mod stats;
+
+pub use basic::{Deterministic, Exponential, HyperExponential, UniformService};
+pub use empirical::Empirical;
+pub use lognormal::LogNormal;
+pub use pareto::{BoundedPareto, Pareto};
+
+use rng::Xoshiro256pp;
+use std::fmt;
+
+/// Why a distribution could not be constructed or fitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// Malformed parameters (non-positive scale, inverted support, …).
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl DistError {
+    pub(crate) fn invalid(reason: String) -> Self {
+        DistError::InvalidParameter { reason }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter { reason } => {
+                write!(f, "invalid distribution parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// The moment summary every queueing closed form consumes: `E[X]`,
+/// `E[X²]`, and `E[1/X]` — the last one `None` when it diverges
+/// (exponential-like densities positive at zero), which is exactly the
+/// case where expected slowdown has no closed form (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Mean service time `E[X]`.
+    pub mean: f64,
+    /// Second raw moment `E[X²]` (may be `+∞` for unbounded heavy
+    /// tails with `α ≤ 2`).
+    pub second_moment: f64,
+    /// `E[1/X]`, or `None` when the integral diverges.
+    pub mean_inverse: Option<f64>,
+}
+
+impl Moments {
+    /// Lemma 2: the moments of `X/r` for a task server running at a
+    /// fraction `r` of the machine rate — `E[X/r] = E[X]/r`,
+    /// `E[(X/r)²] = E[X²]/r²`, `E[r/X] = r·E[1/X]`.
+    pub fn scaled_by_rate(&self, rate: f64) -> Moments {
+        Moments {
+            mean: self.mean / rate,
+            second_moment: self.second_moment / (rate * rate),
+            mean_inverse: self.mean_inverse.map(|mi| mi * rate),
+        }
+    }
+}
+
+/// A service-size distribution: sampleable (for the simulators) and
+/// summarizable by its [`Moments`] (for the analysis).
+pub trait ServiceDistribution {
+    /// Draw one service size, consuming randomness only from `rng`.
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64;
+
+    /// Mean service size `E[X]`.
+    fn mean(&self) -> f64;
+
+    /// The moment summary used by the queueing closed forms.
+    fn moments(&self) -> Moments;
+}
+
+/// Third and inverse-square moments, needed by the Takács second-moment
+/// (slowdown variance) analysis. Each is `None` when the corresponding
+/// integral diverges.
+pub trait HigherMoments {
+    /// `E[X³]`, or `None` if infinite.
+    fn third_moment(&self) -> Option<f64>;
+
+    /// `E[1/X²]`, or `None` if it diverges.
+    fn mean_inverse_square(&self) -> Option<f64>;
+}
+
+/// A clonable, matchable sum of every service distribution in the
+/// crate — what simulator configs embed so they stay `Clone +
+/// PartialEq` and thread-shippable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceDist {
+    /// Bounded Pareto (the paper's workload).
+    BoundedPareto(BoundedPareto),
+    /// Unbounded Pareto (divergent `E[X²]` for `α ≤ 2`).
+    Pareto(Pareto),
+    /// Constant service time (M/D/1 reduction).
+    Deterministic(Deterministic),
+    /// Exponential (no slowdown closed form).
+    Exponential(Exponential),
+    /// Two-phase hyperexponential (no slowdown closed form).
+    HyperExponential(HyperExponential),
+    /// Uniform on a positive interval.
+    Uniform(UniformService),
+    /// Log-normal.
+    LogNormal(LogNormal),
+    /// Trace replay by uniform resampling.
+    Empirical(Empirical),
+}
+
+impl ServiceDist {
+    /// The paper's default workload: `BP(1.5, 0.1, 100)`.
+    pub fn paper_default() -> Self {
+        ServiceDist::BoundedPareto(BoundedPareto::paper_default())
+    }
+}
+
+macro_rules! delegate_service_dist {
+    ($self:ident, $d:ident => $expr:expr) => {
+        match $self {
+            ServiceDist::BoundedPareto($d) => $expr,
+            ServiceDist::Pareto($d) => $expr,
+            ServiceDist::Deterministic($d) => $expr,
+            ServiceDist::Exponential($d) => $expr,
+            ServiceDist::HyperExponential($d) => $expr,
+            ServiceDist::Uniform($d) => $expr,
+            ServiceDist::LogNormal($d) => $expr,
+            ServiceDist::Empirical($d) => $expr,
+        }
+    };
+}
+
+impl ServiceDistribution for ServiceDist {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        delegate_service_dist!(self, d => d.sample(rng))
+    }
+
+    fn mean(&self) -> f64 {
+        delegate_service_dist!(self, d => d.mean())
+    }
+
+    fn moments(&self) -> Moments {
+        delegate_service_dist!(self, d => d.moments())
+    }
+}
+
+impl HigherMoments for ServiceDist {
+    fn third_moment(&self) -> Option<f64> {
+        delegate_service_dist!(self, d => d.third_moment())
+    }
+
+    fn mean_inverse_square(&self) -> Option<f64> {
+        delegate_service_dist!(self, d => d.mean_inverse_square())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_by_rate_is_lemma2() {
+        let m = BoundedPareto::paper_default().moments();
+        let s = m.scaled_by_rate(0.25);
+        assert!((s.mean - m.mean / 0.25).abs() < 1e-12);
+        assert!((s.second_moment - m.second_moment / 0.0625).abs() < 1e-9);
+        assert!((s.mean_inverse.unwrap() - m.mean_inverse.unwrap() * 0.25).abs() < 1e-12);
+        // Divergent E[1/X] stays divergent under scaling.
+        let e = Exponential::new(1.0).unwrap().moments().scaled_by_rate(0.5);
+        assert_eq!(e.mean_inverse, None);
+    }
+
+    #[test]
+    fn paper_default_enum_matches_struct() {
+        let d = ServiceDist::paper_default();
+        let bp = BoundedPareto::paper_default();
+        assert_eq!(d, ServiceDist::BoundedPareto(bp.clone()));
+        assert_eq!(d.moments(), bp.moments());
+        assert_eq!(d.mean(), bp.mean());
+        assert_eq!(d.third_moment(), bp.third_moment());
+        assert_eq!(d.mean_inverse_square(), bp.mean_inverse_square());
+    }
+
+    #[test]
+    fn enum_sampling_delegates() {
+        let mut rng_a = Xoshiro256pp::seed_from(4);
+        let mut rng_b = Xoshiro256pp::seed_from(4);
+        let bp = BoundedPareto::paper_default();
+        let d = ServiceDist::BoundedPareto(bp.clone());
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng_a), bp.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn every_variant_samples_positively() {
+        let mut rng = Xoshiro256pp::seed_from(6);
+        let dists = vec![
+            ServiceDist::paper_default(),
+            ServiceDist::Pareto(Pareto::new(1.5, 0.1).unwrap()),
+            ServiceDist::Deterministic(Deterministic::new(1.0).unwrap()),
+            ServiceDist::Exponential(Exponential::new(1.0).unwrap()),
+            ServiceDist::HyperExponential(HyperExponential::h2_balanced(1.0, 4.0).unwrap()),
+            ServiceDist::Uniform(UniformService::new(0.5, 1.5).unwrap()),
+            ServiceDist::LogNormal(LogNormal::with_mean_scv(0.3, 4.0).unwrap()),
+            ServiceDist::Empirical(Empirical::from_trace(&[1.0, 2.0]).unwrap()),
+        ];
+        for d in &dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0, "{d:?} produced a non-positive sample");
+            }
+            assert!(d.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DistError::invalid("boom".to_string());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Streaming and order statistics used by the metrics pipelines:
+//! Welford accumulators and percentile helpers.
+
+/// Numerically stable streaming mean/variance accumulator (Welford's
+/// algorithm). `Default` is the empty accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`0.0` when empty, so snapshots of idle classes
+    /// stay finite).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (`0.0` with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Quantile `q ∈ [0, 1]` of an **already sorted** slice, with linear
+/// interpolation between adjacent order statistics (the "type 7"
+/// estimator R and NumPy default to). Returns `None` on an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sort `values` in place and return the `(5th, 50th, 95th)`
+/// percentiles — the triple behind the paper's Figures 5 and 6.
+/// Returns `None` on an empty slice.
+pub fn percentile_triple(values: &mut [f64]) -> Option<(f64, f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    Some((
+        percentile(values, 0.05).expect("non-empty"),
+        percentile(values, 0.50).expect("non-empty"),
+        percentile(values, 0.95).expect("non-empty"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w, Welford::default());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        // Merging an empty accumulator changes nothing.
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn numerically_stable_around_large_offsets() {
+        let mut w = Welford::new();
+        for i in 0..1000 {
+            w.push(1e9 + (i % 2) as f64);
+        }
+        assert!((w.variance() - 0.25).abs() < 1e-6, "variance {}", w.variance());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 1.0), Some(40.0));
+        assert_eq!(percentile(&xs, 0.5), Some(25.0));
+        assert!((percentile(&xs, 1.0 / 3.0).unwrap() - 20.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.95), Some(7.0));
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&xs, 2.0), Some(40.0));
+    }
+
+    #[test]
+    fn triple_sorts_and_orders() {
+        let mut xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let (p5, p50, p95) = percentile_triple(&mut xs).unwrap();
+        assert!(p5 <= p50 && p50 <= p95);
+        assert_eq!(p50, 3.0);
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "sorted in place");
+        assert_eq!(percentile_triple(&mut []), None);
+    }
+}

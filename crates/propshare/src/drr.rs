@@ -68,15 +68,10 @@ impl ProportionalScheduler for Drr {
         // Each full round adds one quantum to every backlogged class, so
         // after ceil(max_cost / min_quantum) rounds some head becomes
         // servable; the loop is finite. Bound it generously anyway.
-        let min_quantum = self
-            .weights
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
-            * self.base_quantum;
-        let max_cost = (0..n)
-            .filter_map(|c| self.queues[c].front().map(|i| i.cost))
-            .fold(0.0f64, f64::max);
+        let min_quantum =
+            self.weights.iter().cloned().fold(f64::INFINITY, f64::min) * self.base_quantum;
+        let max_cost =
+            (0..n).filter_map(|c| self.queues[c].front().map(|i| i.cost)).fold(0.0f64, f64::max);
         let bound = ((max_cost / min_quantum).ceil() as usize + 2) * n + 2;
         for _ in 0..bound {
             let class = self.cursor;

@@ -25,7 +25,12 @@ impl Stride {
     pub fn new(weights: Vec<f64>) -> Self {
         check_weights(&weights);
         let n = weights.len();
-        Self { weights, queues: (0..n).map(|_| VecDeque::new()).collect(), pass: vec![0.0; n], global_pass: 0.0 }
+        Self {
+            weights,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            pass: vec![0.0; n],
+            global_pass: 0.0,
+        }
     }
 
     fn stride(&self, class: usize) -> f64 {
@@ -133,10 +138,7 @@ mod tests {
         for _ in 0..8 {
             first_eight[s.dequeue().unwrap().0] += 1;
         }
-        assert!(
-            first_eight[0] <= 5,
-            "rejoining class must not monopolize: {first_eight:?}"
-        );
+        assert!(first_eight[0] <= 5, "rejoining class must not monopolize: {first_eight:?}");
     }
 
     #[test]

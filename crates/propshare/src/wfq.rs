@@ -73,9 +73,7 @@ impl ProportionalScheduler for Wfq {
             if let Some(head) = q.front() {
                 let better = match best {
                     None => true,
-                    Some((_, s, f)) => {
-                        head.start < s || (head.start == s && head.finish < f)
-                    }
+                    Some((_, s, f)) => head.start < s || (head.start == s && head.finish < f),
                 };
                 if better {
                     best = Some((class, head.start, head.finish));

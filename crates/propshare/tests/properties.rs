@@ -2,6 +2,10 @@
 //! is ever lost or invented, FIFO order holds within a class, and
 //! long-run dispatched work tracks the weights.
 
+// The class index is used against several parallel arrays at once, so
+// indexed loops read better than zipped enumerations here.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use psd_propshare::{Drr, GpsFluid, Lottery, ProportionalScheduler, Stride, Wfq, WorkItem};
 
@@ -22,7 +26,10 @@ fn ops(n_classes: usize) -> impl Strategy<Value = Vec<Op>> {
 }
 
 /// Drive an arbitrary op sequence and check conservation + class FIFO.
-fn check_conservation<S: ProportionalScheduler>(mut s: S, ops: Vec<Op>) -> Result<(), TestCaseError> {
+fn check_conservation<S: ProportionalScheduler>(
+    mut s: S,
+    ops: Vec<Op>,
+) -> Result<(), TestCaseError> {
     let n = s.num_classes();
     let mut next_id = 0u64;
     let mut enqueued = vec![0usize; n];
@@ -142,7 +149,7 @@ proptest! {
         dt in 0.1f64..50.0,
     ) {
         let mut g = GpsFluid::new(w, 2.0);
-        let mut offered = vec![0.0f64; 3];
+        let mut offered = [0.0f64; 3];
         for (c, work) in adds {
             g.add_work(c, work);
             offered[c] += work;

@@ -33,7 +33,10 @@ impl fmt::Display for AnalysisError {
                 write!(f, "queue unstable: utilization {utilization} >= 1")
             }
             AnalysisError::SlowdownUndefined => {
-                write!(f, "expected slowdown undefined: E[1/X] diverges for this service distribution")
+                write!(
+                    f,
+                    "expected slowdown undefined: E[1/X] diverges for this service distribution"
+                )
             }
             AnalysisError::InfiniteMoment { which } => {
                 write!(f, "required moment {which} is infinite")

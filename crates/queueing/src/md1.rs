@@ -71,14 +71,8 @@ mod tests {
 
     #[test]
     fn unstable_rejected() {
-        assert!(matches!(
-            expected_slowdown(1.0, 1.0, 1.0),
-            Err(AnalysisError::Unstable { .. })
-        ));
-        assert!(matches!(
-            expected_slowdown(0.6, 1.0, 0.5),
-            Err(AnalysisError::Unstable { .. })
-        ));
+        assert!(matches!(expected_slowdown(1.0, 1.0, 1.0), Err(AnalysisError::Unstable { .. })));
+        assert!(matches!(expected_slowdown(0.6, 1.0, 0.5), Err(AnalysisError::Unstable { .. })));
     }
 
     #[test]

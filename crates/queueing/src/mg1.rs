@@ -85,7 +85,9 @@ impl Mg1Fcfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psd_dist::{BoundedPareto, Deterministic, Exponential, HyperExponential, ServiceDistribution};
+    use psd_dist::{
+        BoundedPareto, Deterministic, Exponential, HyperExponential, ServiceDistribution,
+    };
 
     fn bp_queue(load: f64) -> Mg1Fcfs {
         let d = BoundedPareto::paper_default();
@@ -97,7 +99,7 @@ mod tests {
     fn slowdown_formula_direct() {
         // E[S] = λ·E[X²]·E[1/X] / (2(1−ρ)), cross-checked by parts.
         let q = bp_queue(0.6);
-        let m = q.moments().clone();
+        let m = *q.moments();
         let s = q.expected_slowdown().unwrap();
         let manual = q.lambda() * m.second_moment * m.mean_inverse.unwrap() / (2.0 * (1.0 - 0.6));
         assert!((s - manual).abs() / manual < 1e-12);
@@ -134,10 +136,7 @@ mod tests {
     fn stability_flags() {
         assert!(bp_queue(0.95).is_stable());
         assert!(!bp_queue(1.0).is_stable());
-        assert!(matches!(
-            bp_queue(1.1).expected_delay(),
-            Err(AnalysisError::Unstable { .. })
-        ));
+        assert!(matches!(bp_queue(1.1).expected_delay(), Err(AnalysisError::Unstable { .. })));
     }
 
     #[test]

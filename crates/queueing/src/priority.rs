@@ -93,11 +93,8 @@ impl PriorityMg1 {
             return Err(AnalysisError::Unstable { utilization: rho });
         }
         let r = self.residual_work()?;
-        let sigma_before: f64 = self.lambdas[..class]
-            .iter()
-            .zip(&self.moments[..class])
-            .map(|(l, m)| l * m.mean)
-            .sum();
+        let sigma_before: f64 =
+            self.lambdas[..class].iter().zip(&self.moments[..class]).map(|(l, m)| l * m.mean).sum();
         let sigma_incl = sigma_before + self.lambdas[class] * self.moments[class].mean;
         Ok(r / ((1.0 - sigma_before) * (1.0 - sigma_incl)))
     }
@@ -130,9 +127,7 @@ mod tests {
         let lambda = 0.6 / m.mean;
         let p = PriorityMg1::homogeneous(vec![lambda], m).unwrap();
         let fcfs = Mg1Fcfs::new(lambda, m).unwrap();
-        assert!(
-            (p.expected_delay(0).unwrap() - fcfs.expected_delay().unwrap()).abs() < 1e-12
-        );
+        assert!((p.expected_delay(0).unwrap() - fcfs.expected_delay().unwrap()).abs() < 1e-12);
         assert!(
             (p.expected_slowdown(0).unwrap() - fcfs.expected_slowdown().unwrap()).abs() < 1e-12
         );
@@ -156,9 +151,7 @@ mod tests {
         let m = bp();
         let l = 0.25 / m.mean;
         let p = PriorityMg1::homogeneous(vec![l, l, l], m).unwrap();
-        let lhs: f64 = (0..3)
-            .map(|i| l * m.mean * p.expected_delay(i).unwrap())
-            .sum();
+        let lhs: f64 = (0..3).map(|i| l * m.mean * p.expected_delay(i).unwrap()).sum();
         let fcfs = Mg1Fcfs::new(3.0 * l, m).unwrap().expected_delay().unwrap();
         let rhs = 0.75 * fcfs;
         assert!((lhs - rhs).abs() / rhs < 1e-9, "{lhs} vs {rhs}");
@@ -202,7 +195,8 @@ mod tests {
         let p = PriorityMg1::homogeneous(vec![5.0 / m.mean], m).unwrap();
         assert!(matches!(p.expected_delay(0), Err(AnalysisError::Unstable { .. })));
         let e = psd_dist::Exponential::new(1.0).unwrap();
-        let pe = PriorityMg1::homogeneous(vec![0.5], psd_dist::ServiceDistribution::moments(&e)).unwrap();
+        let pe = PriorityMg1::homogeneous(vec![0.5], psd_dist::ServiceDistribution::moments(&e))
+            .unwrap();
         assert!(pe.expected_delay(0).is_ok());
         assert_eq!(pe.expected_slowdown(0).unwrap_err(), AnalysisError::SlowdownUndefined);
     }

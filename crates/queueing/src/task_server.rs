@@ -133,7 +133,7 @@ mod tests {
     }
 
     #[test]
-    fn full_rate_task_server_is_plain_mg1 () {
+    fn full_rate_task_server_is_plain_mg1() {
         let m = base();
         let lambda = 0.5 / m.mean;
         let ts = TaskServerQueue::new(lambda, 1.0, m).unwrap();

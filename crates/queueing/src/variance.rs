@@ -69,9 +69,8 @@ where
 {
     let m = dist.moments();
     let third = dist.third_moment().ok_or(AnalysisError::InfiniteMoment { which: "E[X^3]" })?;
-    let mis = dist
-        .mean_inverse_square()
-        .ok_or(AnalysisError::InfiniteMoment { which: "E[1/X^2]" })?;
+    let mis =
+        dist.mean_inverse_square().ok_or(AnalysisError::InfiniteMoment { which: "E[1/X^2]" })?;
     slowdown_variance(lambda, &m, third, mis)
 }
 

@@ -84,8 +84,8 @@ fn main() {
         estimator_history: 5,
     }));
 
-    let listener = TcpListener::bind(&addr)
-        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
         "psd_httpd listening on {addr} — {} classes (deltas {deltas:?}), {workers} worker(s), \
          {work_unit_us}µs/work-unit",

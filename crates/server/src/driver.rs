@@ -34,10 +34,7 @@ pub fn drive(
     seed: u64,
 ) -> Vec<u64> {
     assert!(!traffic.is_empty(), "no traffic classes");
-    assert!(
-        traffic.len() <= server.num_classes(),
-        "more traffic classes than server classes"
-    );
+    assert!(traffic.len() <= server.num_classes(), "more traffic classes than server classes");
     let mut handles = Vec::new();
     for (class, spec) in traffic.iter().enumerate() {
         assert!(spec.rate_per_s > 0.0, "class {class} has non-positive rate");

@@ -46,9 +46,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> std::io::Result<HttpRequest>
         None => (target, None),
     };
     let cost = query.as_deref().and_then(|q| {
-        q.split('&')
-            .find_map(|kv| kv.strip_prefix("cost="))
-            .and_then(|v| v.parse::<f64>().ok())
+        q.split('&').find_map(|kv| kv.strip_prefix("cost=")).and_then(|v| v.parse::<f64>().ok())
     });
     let mut x_class = None;
     loop {

@@ -218,10 +218,8 @@ fn monitor_loop(
     while !stop.load(Ordering::SeqCst) {
         thread::sleep(cfg.control_window);
         let window_s = cfg.control_window.as_secs_f64();
-        let rates: Vec<f64> = arrivals
-            .iter()
-            .map(|a| a.swap(0, Ordering::Relaxed) as f64 / window_s)
-            .collect();
+        let rates: Vec<f64> =
+            arrivals.iter().map(|a| a.swap(0, Ordering::Relaxed) as f64 / window_s).collect();
         estimator.observe(&rates);
         let est = estimator.estimate().expect("observed at least one window");
         if let Ok(weights) = psd_rates_clamped(&est, &cfg.deltas, mean_service_s, 1e-4, 0.02) {

@@ -24,7 +24,15 @@ fn main() {
     println!("Session-based e-commerce: M/D/1 classes, deltas (1, 2, 3)\n");
     println!(
         "{:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "load%", "sim chk", "exp chk", "sim brw", "exp brw", "sim srch", "exp srch", "r2/r1", "r3/r1"
+        "load%",
+        "sim chk",
+        "exp chk",
+        "sim brw",
+        "exp brw",
+        "sim srch",
+        "exp srch",
+        "r2/r1",
+        "r3/r1"
     );
 
     for load in [0.4, 0.6, 0.8] {

@@ -22,13 +22,7 @@ fn main() {
         let report = Experiment::new(cfg).runs(6).base_seed(3).run();
         let sim = report.mean_slowdowns();
         let exp = report.expected_slowdowns().expect("stable below 1");
-        println!(
-            "{:>7.0} {:>12.2} {:>12.2} {:>12.2}",
-            load * 100.0,
-            sim[0],
-            sim[1],
-            exp[0]
-        );
+        println!("{:>7.0} {:>12.2} {:>12.2} {:>12.2}", load * 100.0, sim[0], sim[1], exp[0]);
     }
 
     println!("\nPart 2 — the allocator refuses infeasible loads:\n");

@@ -38,23 +38,13 @@ fn main() {
         let cfg = PsdConfig::equal_load(&[1.0, 2.0], load).with_horizon(15_000.0, 2_000.0);
         let (mut s0, mut s1) = (0.0, 0.0);
         for seed in 0..6 {
-            let r = run_with_controller(
-                &cfg,
-                seed,
-                Box::new(StrictPriority::new(m.mean, 5)),
-            );
+            let r = run_with_controller(&cfg, seed, Box::new(StrictPriority::new(m.mean, 5)));
             s0 += r.classes[0].mean_slowdown.unwrap_or(0.0);
             s1 += r.classes[1].mean_slowdown.unwrap_or(0.0);
         }
         let sim_ratio = if s0 > 0.0 { s1 / s0 } else { f64::NAN };
 
-        println!(
-            "{:>7.0} {:>18.2} {:>14.2} {:>20.2}",
-            load * 100.0,
-            prio_ratio,
-            2.0,
-            sim_ratio
-        );
+        println!("{:>7.0} {:>18.2} {:>14.2} {:>20.2}", load * 100.0, prio_ratio, 2.0, sim_ratio);
     }
 
     println!("\nBoth priority flavours are uncontrollable: the analytical HOL ratio");

@@ -22,9 +22,8 @@ fn det(v: f64) -> ServiceDist {
 fn store_config(n_users: usize, seed: u64) -> SessionConfig {
     // States: 0=home 1=browse 2=search 3=cart 4=checkout
     // Classes: 0=checkout(δ1), 1=cart+browse+home(δ2), 2=search(δ3)
-    let uni = |a: f64, b: f64| {
-        ServiceDist::Uniform(UniformService::new(a, b).expect("valid interval"))
-    };
+    let uni =
+        |a: f64, b: f64| ServiceDist::Uniform(UniformService::new(a, b).expect("valid interval"));
     SessionConfig {
         states: vec![
             SessionState {
@@ -119,9 +118,9 @@ fn main() {
                 };
                 let out = run_sessions(cfg, controller);
                 let mut ok = true;
-                for c in 0..3 {
+                for (c, slot) in s.iter_mut().enumerate() {
                     match out.mean_slowdown(c) {
-                        Some(v) => s[c] += v,
+                        Some(v) => *slot += v,
                         None => ok = false,
                     }
                 }

@@ -21,10 +21,10 @@
 //! use psd::core::experiment::Experiment;
 //!
 //! // Two classes with differentiation parameters (1, 2) sharing a
-//! // 70%-loaded server, Bounded-Pareto service times BP(1.5, 0.1, 100).
-//! let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.7)
-//!     .with_horizon(6_000.0, 1_000.0); // shortened for the doctest
-//! let report = Experiment::new(cfg).runs(4).base_seed(42).run();
+//! // 60%-loaded server, Bounded-Pareto service times BP(1.5, 0.1, 100).
+//! let cfg = PsdConfig::equal_load(&[1.0, 2.0], 0.6)
+//!     .with_horizon(30_000.0, 4_000.0); // shortened for the doctest
+//! let report = Experiment::new(cfg).runs(8).base_seed(42).run();
 //!
 //! let sim = report.mean_slowdowns();
 //! let exp = report.expected_slowdowns().unwrap();

@@ -5,9 +5,7 @@
 
 use psd::core::config::{ClassConfig, PsdConfig};
 use psd::core::experiment::Experiment;
-use psd::dist::{
-    fit, BoundedPareto, Empirical, LogNormal, ServiceDist, ServiceDistribution,
-};
+use psd::dist::{fit, BoundedPareto, Empirical, LogNormal, ServiceDist, ServiceDistribution};
 
 fn two_class_cfg(service: ServiceDist, load: f64) -> PsdConfig {
     let per = load / 2.0;
@@ -51,10 +49,7 @@ fn empirical_trace_replay() {
 
     let rep = Experiment::new(cfg).runs(10).base_seed(901).run();
     let sim = rep.mean_slowdowns();
-    assert!(
-        sim[1] > 1.2 * sim[0],
-        "replayed trace must still differentiate: {sim:?}"
-    );
+    assert!(sim[1] > 1.2 * sim[0], "replayed trace must still differentiate: {sim:?}");
 }
 
 /// The characterization pipeline: sample a workload, fit α by MLE, and
@@ -70,14 +65,10 @@ fn fit_then_predict() {
     let fitted = fit::fit_bounded_pareto_alpha(&trace, 0.1, 100.0).unwrap();
 
     let load = 0.6;
-    let s_true = Mg1Fcfs::new(load / truth.mean(), truth.moments())
-        .unwrap()
-        .expected_slowdown()
-        .unwrap();
-    let s_fit = Mg1Fcfs::new(load / fitted.mean(), fitted.moments())
-        .unwrap()
-        .expected_slowdown()
-        .unwrap();
+    let s_true =
+        Mg1Fcfs::new(load / truth.mean(), truth.moments()).unwrap().expected_slowdown().unwrap();
+    let s_fit =
+        Mg1Fcfs::new(load / fitted.mean(), fitted.moments()).unwrap().expected_slowdown().unwrap();
     let rel = (s_true - s_fit).abs() / s_true;
     assert!(rel < 0.15, "fitted-model slowdown {s_fit} vs true {s_true} (rel {rel:.3})");
 }

@@ -65,7 +65,11 @@ fn exponential_rejected_everywhere() {
     let m = e.moments();
     assert!(m.mean_inverse.is_none(), "dist layer");
     let q = Mg1Fcfs::new(0.5, m).unwrap();
-    assert_eq!(q.expected_slowdown().unwrap_err(), AnalysisError::SlowdownUndefined, "queueing layer");
+    assert_eq!(
+        q.expected_slowdown().unwrap_err(),
+        AnalysisError::SlowdownUndefined,
+        "queueing layer"
+    );
     assert!(
         matches!(
             PsdModel::new(&[1.0, 2.0], m),

@@ -54,10 +54,7 @@ fn threaded_server_differentiates() {
     let s1 = stats.classes[1].mean_slowdown;
     assert!(stats.classes[0].completed > 500);
     assert!(stats.classes[1].completed > 500);
-    assert!(
-        s1 > 1.3 * s0,
-        "δ = (1,4) must separate the classes: premium {s0:.2}, basic {s1:.2}"
-    );
+    assert!(s1 > 1.3 * s0, "δ = (1,4) must separate the classes: premium {s0:.2}, basic {s1:.2}");
 }
 
 /// The HTTP front-end classifies, executes and reports timings.

@@ -96,8 +96,5 @@ fn rates_reflect_work_not_just_arrivals() {
         out.rate_history.iter().filter(|(t, _)| *t > 20_000.0).collect();
     assert!(!later.is_empty());
     let mean_r0 = later.iter().map(|(_, r)| r[0]).sum::<f64>() / later.len() as f64;
-    assert!(
-        mean_r0 > 0.35,
-        "checkout's 3x-larger jobs need a large share, got {mean_r0:.3}"
-    );
+    assert!(mean_r0 > 0.35, "checkout's 3x-larger jobs need a large share, got {mean_r0:.3}");
 }

@@ -32,8 +32,7 @@ fn md1_slowdown_variance_matches_takacs() {
     let det = Deterministic::new(1.0).unwrap();
     let lambda = 0.6;
     let predicted_var = slowdown_variance_of(lambda, &det).unwrap();
-    let predicted_mean =
-        Mg1Fcfs::new(lambda, det.moments()).unwrap().expected_slowdown().unwrap();
+    let predicted_mean = Mg1Fcfs::new(lambda, det.moments()).unwrap().expected_slowdown().unwrap();
 
     // Pool several runs for a stable empirical variance.
     let mut all: Vec<f64> = Vec::new();
@@ -79,10 +78,7 @@ fn bp_variance_orders_of_magnitude() {
     let load = 0.6;
     let v_bp = slowdown_variance_of(load / bp.mean(), &bp).unwrap();
     let v_det = slowdown_variance_of(load / det.value(), &det).unwrap();
-    assert!(
-        v_bp > 50.0 * v_det,
-        "heavy tail must dominate: BP {v_bp:.1} vs D {v_det:.3}"
-    );
+    assert!(v_bp > 50.0 * v_det, "heavy tail must dominate: BP {v_bp:.1} vs D {v_det:.3}");
     // Sanity on the trait plumbing used above.
     assert!(bp.third_moment().is_some());
 }

@@ -1,0 +1,85 @@
+//! Minimal offline stand-in for the `bytes` crate: an owned,
+//! cheaply-clonable byte buffer with the small part of the real API
+//! this workspace uses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::new(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Self::from(s.as_bytes().to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Bytes::from(String::from("hello"));
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert!(!b.is_empty());
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Real serde separates the data model from formats; this workspace
+//! only ever serializes reports to JSON, so the shim collapses the two:
+//! [`Serialize`] writes JSON text directly and the vendored
+//! `serde_json` is a thin wrapper over it. `#[derive(Serialize)]` comes
+//! from the vendored `serde_derive` proc macro.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Append `"key":` (escaped) to `out` — helper for derived impls.
+pub fn write_json_key(out: &mut String, key: &str) {
+    write_json_string(out, key);
+    out.push(':');
+}
+
+/// Append a JSON string literal for `s` to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` is the shortest round-trip form (ryu-like):
+                    // 1.0 stays "1.0", matching serde_json's output.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // serde_json writes null for non-finite floats.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+
+serialize_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(1.0f64), "1.0");
+        assert_eq!(json(0.3f64), "0.3");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json(42u64), "42");
+        assert_eq!(json(true), "true");
+        assert_eq!(json("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn compounds() {
+        assert_eq!(json(vec![1u64, 2]), "[1,2]");
+        assert_eq!(json(Option::<u64>::None), "null");
+        assert_eq!(json(Some(5u64)), "5");
+        assert_eq!(json((1usize, 2.0f64, 3.0f64)), "[1,2.0,3.0]");
+        assert_eq!(json(Vec::<Vec<f64>>::from([vec![], vec![2.0]])), "[[],[2.0]]");
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on non-generic structs with named
+//! fields — the only shape this workspace serializes. The generated
+//! impl targets the vendored `serde` shim's JSON-direct `Serialize`
+//! trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name: Option<String> = None;
+    let mut fields_group = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let TokenTree::Ident(n) = &tokens[i + 1] else {
+                    panic!("serde shim: expected struct name");
+                };
+                name = Some(n.to_string());
+                // The next brace group is the field list (no generics or
+                // where-clauses are used by this workspace's types).
+                for t in &tokens[i + 2..] {
+                    match t {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("serde shim: generic structs are not supported")
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde shim: only structs with named fields are supported")
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let name = name.expect("serde shim: no struct found in derive input");
+    let fields_group = fields_group.expect("serde shim: struct has no named-field body");
+    let fields = parse_field_names(fields_group);
+
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (idx, field) in fields.iter().enumerate() {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::write_json_key(out, \"{field}\");\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    );
+    impl_src.parse().expect("serde shim: generated impl parses")
+}
+
+/// Extract field identifiers from the brace-group token stream of a
+/// named-field struct, skipping attributes and visibility modifiers and
+/// tracking angle-bracket depth so commas inside generic types don't
+/// split fields.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut angle_depth: i32 = 0;
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Attribute: swallow the following bracket group.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional visibility scope like `pub(crate)`.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                } else {
+                    fields.push(s);
+                    expecting_name = false;
+                }
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    fields
+}
