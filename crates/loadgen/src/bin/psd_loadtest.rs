@@ -1,0 +1,228 @@
+//! `psd_loadtest` — run a load scenario against an in-process PSD
+//! server and report slowdown differentiation end to end.
+//!
+//! ```text
+//! psd_loadtest [--scenario steady] [--duration 10s] [--warmup 3s]
+//!              [--connections 64] [--rate R] [--deltas 1,2]
+//!              [--workers W] [--seed N] [--json PATH] [--check MAX_DEV] [--list]
+//!
+//!   --scenario     steady | burst | flashcrowd | stepload |
+//!                  classmix-shift | closed        (default: steady)
+//!   --duration     total run length, e.g. 10s / 1500ms (incl. warmup)
+//!   --warmup       leading window excluded from statistics
+//!   --connections  connection pool size (open) / sessions (closed)
+//!   --rate         override the scenario's aggregate arrival rate
+//!   --deltas       comma-separated differentiation parameters
+//!   --seed         schedule + cost-draw seed
+//!   --json PATH    also write the JSON report to PATH
+//!   --check D      exit non-zero on errors or slowdown-ratio
+//!                  deviation > D (e.g. 0.5 for 50%)
+//!   --list         print the scenario catalog and exit
+//! ```
+
+use std::time::Duration;
+
+use psd_loadgen::scenario::ArrivalSpec;
+use psd_loadgen::{harness, LoadMode, Scenario};
+
+fn main() {
+    let mut name = "steady".to_string();
+    let mut duration: Option<Duration> = None;
+    let mut warmup: Option<Duration> = None;
+    let mut connections: Option<usize> = None;
+    let mut rate: Option<f64> = None;
+    let mut deltas: Option<Vec<f64>> = None;
+    let mut workers: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut json_path: Option<String> = None;
+    let mut check: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenario" => name = args.next().unwrap_or_else(|| die("--scenario needs a name")),
+            "--duration" => {
+                duration = Some(parse_duration(
+                    &args.next().unwrap_or_else(|| die("--duration needs a value")),
+                ));
+            }
+            "--warmup" => {
+                warmup = Some(parse_duration(
+                    &args.next().unwrap_or_else(|| die("--warmup needs a value")),
+                ));
+            }
+            "--connections" => {
+                connections = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--connections needs a positive integer")),
+                );
+            }
+            "--rate" => {
+                rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&r: &f64| r > 0.0)
+                        .unwrap_or_else(|| die("--rate needs a positive number")),
+                );
+            }
+            "--deltas" => {
+                let v = args.next().unwrap_or_else(|| die("--deltas needs a list"));
+                let parsed: Vec<f64> = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| die("bad delta")))
+                    .collect();
+                if parsed.is_empty() || parsed.iter().any(|&d| d <= 0.0) {
+                    die("deltas must be positive");
+                }
+                deltas = Some(parsed);
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--workers needs a positive integer")),
+                );
+            }
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer")),
+                );
+            }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| die("--json needs a path"))),
+            "--check" => {
+                check = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&d: &f64| d > 0.0)
+                        .unwrap_or_else(|| die("--check needs a positive deviation bound")),
+                );
+            }
+            "--list" => {
+                for n in Scenario::catalog() {
+                    println!("{n}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: psd_loadtest [--scenario NAME] [--duration 10s] [--warmup 3s] \
+                     [--connections N] [--rate R] [--deltas 1,2] [--seed N] [--json PATH] \
+                     [--check D] [--list]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut scenario = Scenario::by_name(&name)
+        .unwrap_or_else(|| die(&format!("unknown scenario '{name}' (try --list)")));
+    if let Some(d) = duration {
+        scenario.duration = d;
+    }
+    if let Some(w) = warmup {
+        scenario.warmup = w;
+    } else if scenario.warmup >= scenario.duration {
+        // A short custom duration keeps a proportional warmup.
+        scenario.warmup = scenario.duration / 4;
+    }
+    if let Some(c) = connections {
+        scenario.connections = c;
+        if let LoadMode::Closed { sessions, .. } = &mut scenario.mode {
+            *sessions = c;
+        }
+    }
+    if let Some(r) = rate {
+        match &mut scenario.mode {
+            // Scale every segment so the long-run aggregate equals the
+            // requested rate, preserving the scenario's shape.
+            LoadMode::Open { arrival } => {
+                let scale = r / arrival.mean_rate(scenario.duration).max(1e-9);
+                match arrival {
+                    ArrivalSpec::Steady { rate } => *rate *= scale,
+                    ArrivalSpec::Burst { mean_rate, .. } => *mean_rate *= scale,
+                    ArrivalSpec::FlashCrowd { base_rate, peak_rate, .. } => {
+                        *base_rate *= scale;
+                        *peak_rate *= scale;
+                    }
+                    ArrivalSpec::Step { rate_before, rate_after, .. } => {
+                        *rate_before *= scale;
+                        *rate_after *= scale;
+                    }
+                }
+            }
+            LoadMode::Closed { .. } => die("--rate applies to open-loop scenarios"),
+        }
+    }
+    if let Some(d) = deltas {
+        if d.len() != scenario.deltas.len() {
+            // Rebuild the mix so lengths stay consistent. The stock
+            // mix-shift weights are meaningless for a different class
+            // count, so the shift is disabled rather than faked.
+            let template = scenario.mix[0].clone();
+            scenario.mix = d.iter().map(|_| template.clone()).collect();
+            if scenario.mix_shift.take().is_some() {
+                eprintln!(
+                    "psd_loadtest: note — custom --deltas class count disables the \
+                     scenario's mix shift"
+                );
+            }
+        }
+        scenario.deltas = d;
+    }
+    if let Some(w) = workers {
+        scenario.server.workers = w;
+    }
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
+    scenario.validate();
+
+    eprintln!(
+        "psd_loadtest: scenario '{}' for {:?} ({} connections)…",
+        scenario.name, scenario.duration, scenario.connections
+    );
+    let out = harness::run_scenario(&scenario)
+        .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));
+    let report = &out.report;
+
+    println!("{}", report.to_markdown());
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("psd_loadtest: JSON report written to {path}");
+    }
+    if let Some(max_dev) = check {
+        if let Err(why) = report.check(max_dev) {
+            eprintln!("psd_loadtest: CHECK FAILED — {why}");
+            std::process::exit(1);
+        }
+        eprintln!("psd_loadtest: check passed (max deviation {:.0}%)", max_dev * 100.0);
+    }
+}
+
+/// Parse `10s`, `1500ms`, or a bare number of seconds.
+fn parse_duration(s: &str) -> Duration {
+    let (num, unit) = match s.strip_suffix("ms") {
+        Some(n) => (n, 1e-3),
+        None => match s.strip_suffix('s') {
+            Some(n) => (n, 1.0),
+            None => (s, 1.0),
+        },
+    };
+    let v: f64 = num.parse().unwrap_or_else(|_| die(&format!("bad duration '{s}'")));
+    if v <= 0.0 {
+        die(&format!("duration must be positive, got '{s}'"));
+    }
+    Duration::from_secs_f64(v * unit)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,101 @@
+//! End-to-end harness: spawn the real `PsdServer` + HTTP front-end
+//! in-process on a loopback socket, run a [`Scenario`] through the
+//! generator, drain everything gracefully, and return the
+//! [`LoadReport`] — the whole loop the paper only closes in simulation.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use psd_server::{HttpFrontend, PsdServer, ServerStats};
+
+use crate::generator;
+use crate::report::LoadReport;
+use crate::scenario::Scenario;
+
+/// How long the drain may take before we declare handlers stuck.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Result of one harness run: the client-side report plus the
+/// server-side final statistics (useful for cross-checking).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The generator's report.
+    pub report: LoadReport,
+    /// The server's own final per-class statistics.
+    pub server_stats: ServerStats,
+}
+
+/// Run `scenario` against a freshly started in-process server; returns
+/// after the full graceful drain (front-end, then worker pool).
+pub fn run_scenario(scenario: &Scenario) -> io::Result<RunOutput> {
+    scenario.validate();
+    let server = Arc::new(PsdServer::start(scenario.server_config()));
+    let frontend = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0)?;
+    let addr = frontend.addr();
+
+    let stats = generator::run(addr, scenario)?;
+
+    let leftover = frontend.shutdown(DRAIN_TIMEOUT)?;
+    if leftover > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("{leftover} connection handler(s) did not drain"),
+        ));
+    }
+    let server_stats = Arc::try_unwrap(server)
+        .map_err(|_| io::Error::other("drained front-end still holds the server"))?
+        .shutdown();
+
+    Ok(RunOutput { report: LoadReport::from_stats(scenario, &stats), server_stats })
+}
+
+/// Run `scenario` against an already-listening server at `addr`
+/// (e.g. a `psd_httpd` on another machine); no server lifecycle is
+/// managed.
+pub fn run_scenario_against(addr: SocketAddr, scenario: &Scenario) -> io::Result<LoadReport> {
+    scenario.validate();
+    let stats = generator::run(addr, scenario)?;
+    Ok(LoadReport::from_stats(scenario, &stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::LoadMode;
+
+    /// A fast steady smoke: a second of traffic end to end, everything
+    /// drains, report is populated. (The slowdown-accuracy assertions
+    /// live in the longer `tests/loadgen_e2e.rs` suite.)
+    #[test]
+    fn short_steady_run_end_to_end() {
+        let mut s = Scenario::by_name("steady").unwrap();
+        s.duration = Duration::from_millis(1200);
+        s.warmup = Duration::from_millis(300);
+        s.connections = 8;
+        if let LoadMode::Open { arrival } = &mut s.mode {
+            *arrival = crate::scenario::ArrivalSpec::Steady { rate: 150.0 };
+        }
+        let out = run_scenario(&s).expect("harness run");
+        let r = &out.report;
+        assert!(r.total_sent > 50, "sent {}", r.total_sent);
+        assert_eq!(r.total_errors, 0, "{}", r.to_markdown());
+        assert_eq!(r.dead_workers, 0);
+        assert!(r.classes.iter().all(|c| c.measured > 0), "{}", r.to_markdown());
+        // The server executed what the generator sent.
+        let server_total: u64 = out.server_stats.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(server_total, r.total_sent, "server completed everything sent");
+    }
+
+    #[test]
+    fn short_closed_run_end_to_end() {
+        let mut s = Scenario::by_name("closed").unwrap();
+        s.duration = Duration::from_millis(1000);
+        s.warmup = Duration::from_millis(200);
+        s.mode = LoadMode::Closed { sessions: 6, mean_think: Duration::from_millis(5) };
+        let out = run_scenario(&s).expect("harness run");
+        assert_eq!(out.report.total_errors, 0);
+        assert!(out.report.total_sent > 20, "sent {}", out.report.total_sent);
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-bucketed latency histogram (HDR-style): constant-time record,
+//! bounded relative error, mergeable across worker threads.
+//!
+//! Values are recorded as non-negative integers (the generator uses
+//! microseconds). Buckets are exact below [`SUB_BUCKETS`] and then
+//! split each power-of-two range into [`SUB_BUCKETS`] linear
+//! sub-buckets, so any recorded value is reconstructed to within
+//! `1/SUB_BUCKETS` (≈3%) relative error — plenty for p50/p99/p999
+//! latency reporting, at ~15 KiB per histogram.
+//!
+//! The concurrency story is deliberately share-nothing: each connection
+//! worker owns a private `LogHistogram` and the harness folds them with
+//! [`LogHistogram::merge`] after the run, so the hot record path is a
+//! plain array increment — no atomics, no locks, no false sharing.
+
+/// Linear sub-buckets per power-of-two range (and the width of the
+/// exact low range). Must be a power of two.
+pub const SUB_BUCKETS: u64 = 32;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count: the exact range plus [`SUB_BUCKETS`] sub-buckets
+/// for each of the 59 octaves of `u64` above it (msb 5 through 63).
+const N_BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// A mergeable log-bucketed histogram of `u64` observations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: identity below [`SUB_BUCKETS`], then
+/// `SUB_BUCKETS` linear sub-buckets per octave.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    // Top SUB_BITS+1 bits of v, in [SUB_BUCKETS, 2*SUB_BUCKETS).
+    let top = (v >> shift) as usize;
+    ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + top - SUB_BUCKETS as usize
+}
+
+/// Midpoint of bucket `i`'s value range (exact in the low range).
+#[inline]
+fn value_of(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let octave = i / SUB_BUCKETS - 1; // 0-based octave above the exact range
+    let sub = i % SUB_BUCKETS;
+    let low = (SUB_BUCKETS + sub) << octave;
+    let width = 1u64 << octave;
+    low + width / 2
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`: the smallest bucket midpoint `v`
+    /// such that at least `q·count` observations are ≤ its bucket.
+    /// `None` when empty. Accurate to the bucket's ≈3% relative width,
+    /// and clamped into `[min, max]` so tails stay honest.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(value_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold `other` into `self` (element-wise; order-independent).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_in_low_range() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.value_at_quantile(0.0), Some(0));
+        assert_eq!(h.value_at_quantile(1.0), Some(SUB_BUCKETS - 1));
+    }
+
+    #[test]
+    fn index_is_monotone_and_continuous() {
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let i = index_of(v);
+            assert!(i == prev || i == prev + 1, "index jumps at {v}: {prev} -> {i}");
+            prev = i;
+        }
+        // Spot-check the octave boundaries.
+        assert_eq!(index_of(31), 31);
+        assert_eq!(index_of(32), 32);
+        assert_eq!(index_of(63), 63);
+        assert_eq!(index_of(64), 64);
+        assert_eq!(index_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn reconstruction_within_relative_error() {
+        for v in [1u64, 31, 32, 100, 999, 12_345, 1_000_000, 123_456_789] {
+            let mid = value_of(index_of(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-12, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0), (0.999, 9_990.0)] {
+            let got = h.value_at_quantile(q).unwrap() as f64;
+            assert!((got - want).abs() / want < 0.05, "q={q}: got {got}, want {want}");
+        }
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let vals: Vec<u64> = (0..5_000).map(|i| (i * i) % 100_000 + 1).collect();
+        let mut all = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must equal recording everything in one histogram");
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_quantile(0.5), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! The load-test report: per-class throughput, coordinated-omission
+//! corrected latency percentiles, achieved slowdown ratios vs. the
+//! configured δ's — serializable to JSON (the `BENCH_loadgen.json`
+//! schema CI tracks) and renderable as markdown.
+
+use serde::Serialize;
+
+use crate::generator::GenStats;
+use crate::scenario::{LoadMode, Scenario};
+
+/// Latency summary in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median (ms).
+    pub p50_ms: f64,
+    /// 90th percentile (ms).
+    pub p90_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile (ms).
+    pub p999_ms: f64,
+    /// Largest observed (ms).
+    pub max_ms: f64,
+}
+
+/// One class's slice of the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassReport {
+    /// Class index (0 = highest class).
+    pub class: usize,
+    /// Configured differentiation parameter δ.
+    pub delta: f64,
+    /// Requests attempted, whole run.
+    pub sent: u64,
+    /// 2xx responses, whole run.
+    pub ok: u64,
+    /// Non-2xx responses plus transport failures, whole run.
+    pub errors: u64,
+    /// 2xx responses inside the measurement window.
+    pub measured: u64,
+    /// Measured-window throughput (req/s).
+    pub throughput_rps: f64,
+    /// Latency summary over the measurement window.
+    pub latency: LatencySummary,
+    /// Mean server-reported slowdown over the measurement window.
+    pub mean_slowdown: f64,
+    /// Achieved `E[S_class]/E[S_0]`, when both classes have data.
+    pub slowdown_ratio_vs_class0: Option<f64>,
+    /// Target `δ_class/δ_0`.
+    pub target_ratio_vs_class0: f64,
+    /// `|achieved/target − 1|`, when achieved exists.
+    pub ratio_deviation: Option<f64>,
+}
+
+/// The complete report of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"open"` or `"closed"`.
+    pub mode: String,
+    /// Total run length in seconds (including warmup).
+    pub duration_s: f64,
+    /// Warmup excluded from the measured statistics.
+    pub warmup_s: f64,
+    /// Connection-pool size (open) or session population (closed).
+    pub connections: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Configured δ's.
+    pub deltas: Vec<f64>,
+    /// Requests attempted, whole run, all classes.
+    pub total_sent: u64,
+    /// Errors, whole run, all classes.
+    pub total_errors: u64,
+    /// Connection workers that aborted on transport failures.
+    pub dead_workers: usize,
+    /// Aggregate measured-window throughput (req/s).
+    pub throughput_rps: f64,
+    /// Per-class detail.
+    pub classes: Vec<ClassReport>,
+}
+
+fn quantile_ms(h: &crate::histogram::LogHistogram, q: f64) -> f64 {
+    h.value_at_quantile(q).unwrap_or(0) as f64 / 1_000.0
+}
+
+impl LoadReport {
+    /// Assemble the report from the generator's raw counters.
+    pub fn from_stats(scenario: &Scenario, stats: &GenStats) -> Self {
+        let mode = match scenario.mode {
+            LoadMode::Open { .. } => "open",
+            LoadMode::Closed { .. } => "closed",
+        };
+        let connections = match scenario.mode {
+            LoadMode::Closed { sessions, .. } => sessions,
+            LoadMode::Open { .. } => scenario.connections,
+        };
+        let base_slowdown = stats.classes.first().map(|c| c.slowdown.mean()).unwrap_or(0.0);
+        let base_delta = scenario.deltas.first().copied().unwrap_or(1.0);
+        let measured_s = stats.measured_s.max(1e-9);
+        let classes: Vec<ClassReport> = stats
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let h = &c.latency_us;
+                let achieved = (i > 0 && c.slowdown.count() > 0 && base_slowdown > 0.0)
+                    .then(|| c.slowdown.mean() / base_slowdown);
+                let target = scenario.deltas[i] / base_delta;
+                ClassReport {
+                    class: i,
+                    delta: scenario.deltas[i],
+                    sent: c.sent,
+                    ok: c.ok,
+                    errors: c.errors,
+                    measured: h.count(),
+                    throughput_rps: h.count() as f64 / measured_s,
+                    latency: LatencySummary {
+                        mean_ms: h.mean() / 1_000.0,
+                        p50_ms: quantile_ms(h, 0.50),
+                        p90_ms: quantile_ms(h, 0.90),
+                        p99_ms: quantile_ms(h, 0.99),
+                        p999_ms: quantile_ms(h, 0.999),
+                        max_ms: h.max() as f64 / 1_000.0,
+                    },
+                    mean_slowdown: c.slowdown.mean(),
+                    slowdown_ratio_vs_class0: achieved,
+                    target_ratio_vs_class0: target,
+                    ratio_deviation: achieved.map(|a| (a / target - 1.0).abs()),
+                }
+            })
+            .collect();
+        let total_measured: u64 = classes.iter().map(|c| c.measured).sum();
+        LoadReport {
+            scenario: scenario.name.clone(),
+            mode: mode.to_string(),
+            duration_s: scenario.duration.as_secs_f64(),
+            warmup_s: scenario.warmup.as_secs_f64(),
+            connections,
+            seed: scenario.seed,
+            deltas: scenario.deltas.clone(),
+            total_sent: stats.total_sent(),
+            total_errors: stats.total_errors(),
+            dead_workers: stats.dead_workers,
+            throughput_rps: total_measured as f64 / measured_s,
+            classes,
+        }
+    }
+
+    /// Largest per-class `ratio_deviation` (0.0 when no class pair has
+    /// data — callers should also check `classes` counts).
+    pub fn max_ratio_deviation(&self) -> f64 {
+        self.classes.iter().filter_map(|c| c.ratio_deviation).fold(0.0, f64::max)
+    }
+
+    /// CI gate: errors, dead workers, empty classes, or a slowdown
+    /// ratio off target by more than `max_deviation` fail the run.
+    pub fn check(&self, max_deviation: f64) -> Result<(), String> {
+        if self.total_errors > 0 {
+            return Err(format!("{} non-2xx/transport errors", self.total_errors));
+        }
+        if self.dead_workers > 0 {
+            return Err(format!("{} connection worker(s) died", self.dead_workers));
+        }
+        if let Some(c) = self.classes.iter().find(|c| c.measured == 0) {
+            return Err(format!("class {} measured no responses", c.class));
+        }
+        let dev = self.max_ratio_deviation();
+        if dev > max_deviation {
+            return Err(format!(
+                "slowdown ratio deviates {:.0}% from the δ targets (limit {:.0}%)",
+                dev * 100.0,
+                max_deviation * 100.0
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compact JSON (the `BENCH_loadgen.json` schema).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is total")
+    }
+
+    /// Human-readable markdown summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Load report — `{}` ({} loop)\n\n\
+             {:.1}s run ({:.1}s warmup), {} connections, seed {}, δ = {:?}\n\n\
+             total: {} sent, {} errors, {:.0} req/s measured\n\n",
+            self.scenario,
+            self.mode,
+            self.duration_s,
+            self.warmup_s,
+            self.connections,
+            self.seed,
+            self.deltas,
+            self.total_sent,
+            self.total_errors,
+            self.throughput_rps,
+        ));
+        out.push_str(
+            "| class | δ | req/s | p50 ms | p99 ms | p99.9 ms | mean slowdown | S ratio | target | dev |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for c in &self.classes {
+            out.push_str(&format!(
+                "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {} |\n",
+                c.class,
+                c.delta,
+                c.throughput_rps,
+                c.latency.p50_ms,
+                c.latency.p99_ms,
+                c.latency.p999_ms,
+                c.mean_slowdown,
+                c.slowdown_ratio_vs_class0.map(|r| format!("{r:.2}")).unwrap_or_else(|| "—".into()),
+                c.target_ratio_vs_class0,
+                c.ratio_deviation
+                    .map(|d| format!("{:.0}%", d * 100.0))
+                    .unwrap_or_else(|| "—".into()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ClassCounters;
+    use std::time::Duration;
+
+    fn fake_stats() -> (Scenario, GenStats) {
+        let mut scenario = Scenario::by_name("steady").unwrap();
+        scenario.duration = Duration::from_secs(10);
+        scenario.warmup = Duration::from_secs(2);
+        let mut c0 = ClassCounters { sent: 100, ok: 100, errors: 0, ..Default::default() };
+        let mut c1 = ClassCounters { sent: 100, ok: 99, errors: 1, ..Default::default() };
+        for i in 0..100u64 {
+            c0.latency_us.record(1_000 + i * 10);
+            c0.slowdown.push(1.0);
+        }
+        for i in 0..99u64 {
+            c1.latency_us.record(2_000 + i * 20);
+            c1.slowdown.push(2.1);
+        }
+        (scenario, GenStats { classes: vec![c0, c1], measured_s: 8.0, dead_workers: 0 })
+    }
+
+    #[test]
+    fn report_computes_ratios_and_throughput() {
+        let (scenario, stats) = fake_stats();
+        let r = LoadReport::from_stats(&scenario, &stats);
+        assert_eq!(r.total_sent, 200);
+        assert_eq!(r.total_errors, 1);
+        assert_eq!(r.classes[0].slowdown_ratio_vs_class0, None, "class 0 is the base");
+        let ratio = r.classes[1].slowdown_ratio_vs_class0.unwrap();
+        assert!((ratio - 2.1).abs() < 1e-9);
+        assert!((r.classes[1].target_ratio_vs_class0 - 2.0).abs() < 1e-12);
+        assert!((r.max_ratio_deviation() - 0.05).abs() < 1e-9);
+        assert!((r.classes[0].throughput_rps - 100.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_gates_on_errors_and_deviation() {
+        let (scenario, stats) = fake_stats();
+        let r = LoadReport::from_stats(&scenario, &stats);
+        assert!(r.check(0.5).unwrap_err().contains("errors"), "1 error must fail");
+        let mut clean = stats.clone();
+        clean.classes[1].errors = 0;
+        let r = LoadReport::from_stats(&scenario, &clean);
+        assert!(r.check(0.5).is_ok());
+        assert!(r.check(0.01).unwrap_err().contains("deviates"));
+    }
+
+    #[test]
+    fn json_roundtrips_key_fields() {
+        let (scenario, stats) = fake_stats();
+        let json = LoadReport::from_stats(&scenario, &stats).to_json();
+        for key in [
+            "\"scenario\"",
+            "\"throughput_rps\"",
+            "\"p99_ms\"",
+            "\"mean_slowdown\"",
+            "\"target_ratio_vs_class0\"",
+            "\"classes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_class() {
+        let (scenario, stats) = fake_stats();
+        let md = LoadReport::from_stats(&scenario, &stats).to_markdown();
+        assert!(md.contains("| 0 | 1 |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("Load report"));
+    }
+}

@@ -3,23 +3,25 @@
 //! ```text
 //! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
 //!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
+//!           [--duration-s N]
 //!
 //! Requests are classified by URL (`/class0/...`, `/premium/...`) or an
 //! `X-Class` header; `?cost=2.5` sets the work amount. Responses carry
-//! `X-Delay-Us` and `X-Slowdown` headers.
+//! `X-Delay-Us` and `X-Slowdown` headers. HTTP/1.1 connections are
+//! kept alive.
 //!
 //!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
 //! ```
 //!
-//! Ctrl-C to stop (the process exits without a graceful drain; use the
-//! library API for embedded use).
+//! With `--duration-s N` the server runs for N seconds and then drains
+//! gracefully — stop accepting, finish in-flight requests, join the
+//! worker pool via `PsdServer::shutdown()` — and prints final per-class
+//! statistics. Without it the accept loop runs until Ctrl-C (no drain).
 
-use std::net::TcpListener;
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
-use psd_server::{httplite, PsdServer, SchedulerKind, ServerConfig, Workload};
+use psd_server::{httplite::HttpFrontend, PsdServer, SchedulerKind, ServerConfig, Workload};
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
@@ -28,6 +30,7 @@ fn main() {
     let mut work_unit_us = 300u64;
     let mut default_cost = 1.0f64;
     let mut workload = Workload::Sleep;
+    let mut duration_s: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,11 +64,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--default-cost needs a number"));
             }
+            "--duration-s" => {
+                duration_s = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&d: &f64| d > 0.0)
+                        .unwrap_or_else(|| die("--duration-s needs a positive number")),
+                );
+            }
             "--spin" => workload = Workload::Spin,
             "--help" | "-h" => {
                 println!(
                     "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
-                     [--work-unit-us U] [--default-cost C] [--spin]"
+                     [--work-unit-us U] [--default-cost C] [--spin] [--duration-s N]"
                 );
                 return;
             }
@@ -84,18 +95,46 @@ fn main() {
         estimator_history: 5,
     }));
 
-    let listener =
-        TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let frontend = HttpFrontend::start(&addr, Arc::clone(&server), default_cost)
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
-        "psd_httpd listening on {addr} — {} classes (deltas {deltas:?}), {workers} worker(s), \
+        "psd_httpd listening on {} — {} classes (deltas {deltas:?}), {workers} worker(s), \
          {work_unit_us}µs/work-unit",
+        frontend.addr(),
         deltas.len()
     );
-    eprintln!("try: curl 'http://{addr}/class0/hello?cost=2'");
+    eprintln!("try: curl 'http://{}/class0/hello?cost=2'", frontend.addr());
 
-    let stop = Arc::new(AtomicBool::new(false));
-    if let Err(e) = httplite::serve(listener, server, default_cost, stop) {
-        die(&format!("accept loop failed: {e}"));
+    match duration_s {
+        None => {
+            // Run forever: park this thread while the front-end serves.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            eprintln!("psd_httpd: draining…");
+            let leftover = frontend
+                .shutdown(Duration::from_secs(10))
+                .unwrap_or_else(|e| die(&format!("drain failed: {e}")));
+            if leftover > 0 {
+                // Undrained handlers still hold the server; final stats
+                // are unavailable, so report and exit instead of
+                // tripping over the Arc.
+                eprintln!("psd_httpd: {leftover} connection handler(s) did not drain in time");
+                std::process::exit(1);
+            }
+            let stats = Arc::try_unwrap(server)
+                .unwrap_or_else(|_| die("connection handlers still hold the server"))
+                .shutdown();
+            for (c, s) in stats.classes.iter().enumerate() {
+                eprintln!(
+                    "class {c}: completed={} mean_delay={:.6}s mean_slowdown={:.3}",
+                    s.completed, s.mean_delay, s.mean_slowdown
+                );
+            }
+        }
     }
 }
 

@@ -56,5 +56,6 @@ mod queues;
 mod server;
 
 pub use classify::{classify_path, Classification};
+pub use httplite::{HttpFrontend, HttpRequest};
 pub use metrics::{ClassStats, ServerStats};
 pub use server::{Completion, PsdServer, SchedulerKind, ServerConfig, Workload};

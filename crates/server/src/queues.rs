@@ -1,6 +1,19 @@
-//! The shared dispatch core: a proportional-share scheduler behind a
-//! mutex + condvar, connecting submitters (clients) to the worker pool.
+//! The shared dispatch core, connecting submitters (clients) to the
+//! worker pool behind a mutex + condvar. Two dispatch disciplines:
+//!
+//! * **Shared pool** — a work-conserving proportional-share scheduler
+//!   ([`psd_propshare`]) orders one global dispatch queue; workers
+//!   execute at full machine speed.
+//! * **Rate partition** — the paper's Fig. 1 architecture: one *serial*
+//!   virtual task server per class, each running at its allocated
+//!   fraction `r_i` of the machine rate. At most one request per class
+//!   is in service, and its execution is stretched by `1/r_i`, so each
+//!   class behaves as an independent M/G/1 at rate `r_i` — the regime
+//!   Eq. 17 was derived for. Non-work-conserving by design: spare
+//!   capacity of an idle class is *not* donated, which is exactly what
+//!   keeps the slowdown ratios pinned to the δ's.
 
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
@@ -8,6 +21,16 @@ use parking_lot::{Condvar, Mutex};
 use psd_propshare::{ProportionalScheduler, WorkItem};
 
 use crate::server::Completion;
+
+/// Shares below this floor are clamped before the `1/r` stretch.
+const MIN_SHARE: f64 = 1e-6;
+
+/// Ceiling on the rate-partition execution stretch: a class whose
+/// estimated load decays to the allocator's rate floor must still run
+/// at ≥1% of the machine rate, or its serial virtual server wedges for
+/// longer than every drain/client timeout on the first request after
+/// the lull.
+const MAX_STRETCH: f64 = 100.0;
 
 /// A request queued for execution.
 #[derive(Debug, Clone)]
@@ -22,32 +45,78 @@ pub struct QueuedRequest {
     pub notify: Option<Sender<Completion>>,
 }
 
+/// A dispatched request plus its execution-time multiplier.
+#[derive(Debug)]
+pub struct Dispatched {
+    /// The request to execute.
+    pub req: QueuedRequest,
+    /// Execution stretch factor: `1.0` in shared-pool mode, `1/r_c` in
+    /// rate-partition mode (the class's virtual server runs at `r_c` ×
+    /// the machine rate).
+    pub stretch: f64,
+}
+
+enum Core {
+    Shared {
+        scheduler: Box<dyn ProportionalScheduler + Send>,
+        /// Sidecar payloads: the scheduler tracks (id, cost); we map id
+        /// to the full request. Entries are removed on dispatch.
+        payloads: HashMap<u64, QueuedRequest>,
+        next_id: u64,
+    },
+    Paced {
+        fifos: Vec<VecDeque<QueuedRequest>>,
+        /// Normalized rate shares `r_i` (sum ≈ 1).
+        shares: Vec<f64>,
+        /// Whether class `i`'s serial virtual server is busy.
+        in_service: Vec<bool>,
+    },
+}
+
 struct Inner {
-    scheduler: Box<dyn ProportionalScheduler + Send>,
-    /// Sidecar payloads: the scheduler tracks (id, cost); we map id to
-    /// the full request. Entries are removed on dispatch.
-    payloads: std::collections::HashMap<u64, QueuedRequest>,
-    next_id: u64,
+    core: Core,
     closed: bool,
 }
 
-/// MPMC dispatch queue with proportional-share ordering.
+/// MPMC dispatch queue with proportional-share or rate-partitioned
+/// ordering.
 pub struct DispatchQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
+    /// Immutable mode flag, readable without the lock — lets the
+    /// per-request `complete` call skip the mutex entirely in
+    /// shared-pool mode.
+    paced: bool,
 }
 
 impl DispatchQueue {
-    /// Wrap a scheduler.
+    /// Work-conserving shared pool over a proportional scheduler.
     pub fn new(scheduler: Box<dyn ProportionalScheduler + Send>) -> Self {
         Self {
             inner: Mutex::new(Inner {
-                scheduler,
-                payloads: std::collections::HashMap::new(),
-                next_id: 0,
+                core: Core::Shared { scheduler, payloads: HashMap::new(), next_id: 0 },
                 closed: false,
             }),
             ready: Condvar::new(),
+            paced: false,
+        }
+    }
+
+    /// Rate-partitioned dispatch over `n` classes, starting from an
+    /// even split.
+    pub fn new_paced(n: usize) -> Self {
+        assert!(n >= 1, "at least one class");
+        Self {
+            inner: Mutex::new(Inner {
+                core: Core::Paced {
+                    fifos: (0..n).map(|_| VecDeque::new()).collect(),
+                    shares: vec![1.0 / n as f64; n],
+                    in_service: vec![false; n],
+                },
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            paced: true,
         }
     }
 
@@ -58,38 +127,98 @@ impl DispatchQueue {
         if g.closed {
             return false;
         }
-        let id = g.next_id;
-        g.next_id += 1;
-        let class = req.class;
-        let cost = req.cost;
-        g.payloads.insert(id, req);
-        g.scheduler.enqueue(class, WorkItem { id, cost });
+        match &mut g.core {
+            Core::Shared { scheduler, payloads, next_id } => {
+                let id = *next_id;
+                *next_id += 1;
+                let class = req.class;
+                let cost = req.cost;
+                payloads.insert(id, req);
+                scheduler.enqueue(class, WorkItem { id, cost });
+            }
+            Core::Paced { fifos, .. } => fifos[req.class].push_back(req),
+        }
         drop(g);
         self.ready.notify_one();
         true
     }
 
-    /// Blocking pop in scheduler order; `None` once closed *and* empty.
-    pub fn pop(&self) -> Option<QueuedRequest> {
+    /// Blocking pop in discipline order; `None` once closed *and* no
+    /// queued work remains (requests already in service keep running in
+    /// their workers).
+    pub fn pop(&self) -> Option<Dispatched> {
         let mut g = self.inner.lock();
         loop {
-            if let Some((_, item)) = g.scheduler.dequeue() {
-                let req = g.payloads.remove(&item.id).expect("payload tracked");
-                return Some(req);
+            match &mut g.core {
+                Core::Shared { scheduler, payloads, .. } => {
+                    if let Some((_, item)) = scheduler.dequeue() {
+                        let req = payloads.remove(&item.id).expect("payload tracked");
+                        return Some(Dispatched { req, stretch: 1.0 });
+                    }
+                }
+                Core::Paced { fifos, shares, in_service } => {
+                    // Among idle classes with backlog, dispatch the
+                    // longest-waiting head (each class is serial, so
+                    // the pick order barely matters — it only decides
+                    // which idle virtual server starts first).
+                    let eligible = (0..fifos.len())
+                        .filter(|&c| !in_service[c] && !fifos[c].is_empty())
+                        .min_by(|&a, &b| {
+                            let ta = fifos[a].front().expect("non-empty").enqueued;
+                            let tb = fifos[b].front().expect("non-empty").enqueued;
+                            ta.cmp(&tb)
+                        });
+                    if let Some(c) = eligible {
+                        in_service[c] = true;
+                        let req = fifos[c].pop_front().expect("non-empty");
+                        let stretch = (1.0 / shares[c].max(MIN_SHARE)).min(MAX_STRETCH);
+                        return Some(Dispatched { req, stretch });
+                    }
+                }
             }
-            if g.closed {
+            let drained = match &g.core {
+                Core::Shared { .. } => true, // dequeue above found nothing
+                Core::Paced { fifos, .. } => fifos.iter().all(VecDeque::is_empty),
+            };
+            if g.closed && drained {
                 return None;
             }
             self.ready.wait(&mut g);
         }
     }
 
-    /// Update the scheduler weights (class `i` gets `weights[i]`).
+    /// Mark class `class`'s serial virtual server idle again
+    /// (rate-partition mode; a lock-free no-op for the shared pool).
+    /// Workers call this when an execution finishes.
+    pub fn complete(&self, class: usize) {
+        if !self.paced {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if let Core::Paced { in_service, .. } = &mut g.core {
+            in_service[class] = false;
+            drop(g);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Update the per-class rates (class `i` gets `weights[i]`).
     pub fn set_weights(&self, weights: &[f64]) {
         let mut g = self.inner.lock();
-        for (class, &w) in weights.iter().enumerate() {
-            // Proportional schedulers require strictly positive weights.
-            g.scheduler.set_weight(class, w.max(1e-9));
+        match &mut g.core {
+            Core::Shared { scheduler, .. } => {
+                for (class, &w) in weights.iter().enumerate() {
+                    // Proportional schedulers require strictly positive
+                    // weights.
+                    scheduler.set_weight(class, w.max(1e-9));
+                }
+            }
+            Core::Paced { shares, .. } => {
+                let total: f64 = weights.iter().map(|&w| w.max(MIN_SHARE)).sum();
+                for (s, &w) in shares.iter_mut().zip(weights) {
+                    *s = w.max(MIN_SHARE) / total;
+                }
+            }
         }
     }
 
@@ -101,7 +230,11 @@ impl DispatchQueue {
 
     /// Current backlog of `class`.
     pub fn backlog(&self, class: usize) -> usize {
-        self.inner.lock().scheduler.backlog(class)
+        let g = self.inner.lock();
+        match &g.core {
+            Core::Shared { scheduler, .. } => scheduler.backlog(class),
+            Core::Paced { fifos, .. } => fifos[class].len(),
+        }
     }
 }
 
@@ -127,7 +260,8 @@ mod tests {
         assert!(q.push(req(1, 2.0)));
         let a = q.pop().unwrap();
         let b = q.pop().unwrap();
-        assert_ne!(a.class, b.class);
+        assert_ne!(a.req.class, b.req.class);
+        assert_eq!(a.stretch, 1.0, "shared pool never stretches");
     }
 
     #[test]
@@ -148,7 +282,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.push(req(1, 1.0));
         let got = h.join().unwrap().unwrap();
-        assert_eq!(got.class, 1);
+        assert_eq!(got.req.class, 1);
     }
 
     #[test]
@@ -167,5 +301,61 @@ mod tests {
         q.set_weights(&[0.0, 1.0]); // must not panic
         q.push(req(0, 1.0));
         assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn paced_serializes_each_class() {
+        let q = DispatchQueue::new_paced(2);
+        q.push(req(0, 1.0));
+        q.push(req(0, 1.0));
+        q.push(req(1, 1.0));
+        let a = q.pop().unwrap();
+        assert_eq!(a.req.class, 0, "earliest head first");
+        // Class 0 is now in service: only class 1 is eligible.
+        let b = q.pop().unwrap();
+        assert_eq!(b.req.class, 1);
+        q.close();
+        // Both classes busy, one class-0 request queued: not drained.
+        q.complete(0);
+        let c = q.pop().unwrap();
+        assert_eq!(c.req.class, 0);
+        q.complete(0);
+        q.complete(1);
+        assert!(q.pop().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn paced_stretch_is_inverse_share() {
+        let q = DispatchQueue::new_paced(2);
+        q.set_weights(&[0.8, 0.2]);
+        q.push(req(0, 1.0));
+        q.push(req(1, 1.0));
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let (s0, s1) =
+            if a.req.class == 0 { (a.stretch, b.stretch) } else { (b.stretch, a.stretch) };
+        assert!((s0 - 1.25).abs() < 1e-9, "class 0 runs at 0.8× machine rate, stretch {s0}");
+        assert!((s1 - 5.0).abs() < 1e-9, "class 1 runs at 0.2× machine rate, stretch {s1}");
+    }
+
+    #[test]
+    fn paced_stretch_is_capped_for_starved_shares() {
+        let q = DispatchQueue::new_paced(2);
+        // The allocator's rate floor (1e-4) must not wedge the class.
+        q.set_weights(&[1.0, 1e-4]);
+        q.push(req(1, 1.0));
+        let d = q.pop().unwrap();
+        assert_eq!(d.req.class, 1);
+        assert!((d.stretch - MAX_STRETCH).abs() < 1e-9, "stretch capped, got {}", d.stretch);
+    }
+
+    #[test]
+    fn paced_even_split_by_default() {
+        let q = DispatchQueue::new_paced(4);
+        q.push(req(2, 1.0));
+        let d = q.pop().unwrap();
+        assert!((d.stretch - 4.0).abs() < 1e-9, "even split over 4 classes");
+        q.complete(2);
+        assert_eq!(q.backlog(2), 0);
     }
 }

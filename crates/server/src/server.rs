@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::Sender;
 use psd_core::allocation::psd_rates_clamped;
 use psd_core::estimator::LoadEstimator;
-use psd_propshare::{Drr, Lottery, ProportionalScheduler, Stride, Wfq};
+use psd_propshare::{Drr, Lottery, Stride, Wfq};
 
 use crate::metrics::{MetricsSink, ServerStats};
 use crate::queues::{DispatchQueue, QueuedRequest};
@@ -25,6 +25,14 @@ pub enum SchedulerKind {
     Stride,
     /// Deficit round robin with the given base quantum (work units).
     Drr(f64),
+    /// Paper-faithful rate partitioning (Fig. 1): one *serial* virtual
+    /// task server per class, executing at its allocated fraction `r_i`
+    /// of the machine rate (execution stretched by `1/r_i`), so each
+    /// class is an independent M/G/1 at rate `r_i` — the regime Eq. 17
+    /// assumes. Non-work-conserving; the machine rate is one worker's
+    /// speed, and `workers` should be ≥ the class count so every
+    /// virtual server stays runnable.
+    RatePartition,
 }
 
 /// How workers "execute" a request's work units.
@@ -92,25 +100,40 @@ impl PsdServer {
         assert!(cfg.workers >= 1, "at least one worker");
         assert!(cfg.mean_cost > 0.0, "mean cost must be positive");
         let n = cfg.deltas.len();
-        let scheduler: Box<dyn ProportionalScheduler + Send> = match cfg.scheduler {
-            SchedulerKind::Wfq => Box::new(Wfq::new(vec![1.0; n])),
-            SchedulerKind::Lottery(seed) => Box::new(Lottery::new(vec![1.0; n], seed)),
-            SchedulerKind::Stride => Box::new(Stride::new(vec![1.0; n])),
-            SchedulerKind::Drr(q) => Box::new(Drr::new(vec![1.0; n], q)),
-        };
-        let queue = Arc::new(DispatchQueue::new(scheduler));
+        let queue = Arc::new(match cfg.scheduler {
+            SchedulerKind::Wfq => DispatchQueue::new(Box::new(Wfq::new(vec![1.0; n]))),
+            SchedulerKind::Lottery(seed) => {
+                DispatchQueue::new(Box::new(Lottery::new(vec![1.0; n], seed)))
+            }
+            SchedulerKind::Stride => DispatchQueue::new(Box::new(Stride::new(vec![1.0; n]))),
+            SchedulerKind::Drr(q) => DispatchQueue::new(Box::new(Drr::new(vec![1.0; n], q))),
+            SchedulerKind::RatePartition => DispatchQueue::new_paced(n),
+        });
         let metrics = Arc::new(MetricsSink::new(n));
         let window_arrivals: Arc<Vec<AtomicU64>> =
             Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let stop = Arc::new(AtomicBool::new(false));
 
-        let workers = (0..cfg.workers)
+        let sleep_comp = match cfg.workload {
+            Workload::Sleep => calibrate_sleep_overshoot(),
+            Workload::Spin => Duration::ZERO,
+        };
+        // Rate partitioning needs one runnable thread per serial virtual
+        // task server or classes would also queue behind each other for
+        // workers, drifting the slowdown ratios off the δ's.
+        let worker_count = match cfg.scheduler {
+            SchedulerKind::RatePartition => cfg.workers.max(n),
+            _ => cfg.workers,
+        };
+        let workers = (0..worker_count)
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let work_unit = cfg.work_unit;
                 let workload = cfg.workload;
-                thread::spawn(move || worker_loop(&queue, &metrics, work_unit, workload))
+                thread::spawn(move || {
+                    worker_loop(&queue, &metrics, work_unit, workload, sleep_comp)
+                })
             })
             .collect();
 
@@ -176,18 +199,43 @@ impl PsdServer {
     }
 }
 
+/// Measure `thread::sleep`'s systematic overshoot (typically ~100 µs on
+/// Linux) so the Sleep workload can subtract it from each target and
+/// keep service durations — and hence offered load — at the modeled
+/// values instead of silently above them.
+fn calibrate_sleep_overshoot() -> Duration {
+    const PROBES: u32 = 8;
+    let probe = Duration::from_micros(500);
+    let mut total = Duration::ZERO;
+    for _ in 0..PROBES {
+        let t = Instant::now();
+        thread::sleep(probe);
+        total += t.elapsed().saturating_sub(probe);
+    }
+    total / PROBES
+}
+
 fn worker_loop(
     queue: &DispatchQueue,
     metrics: &MetricsSink,
     work_unit: Duration,
     workload: Workload,
+    sleep_comp: Duration,
 ) {
-    while let Some(req) = queue.pop() {
+    while let Some(d) = queue.pop() {
+        let req = d.req;
         let dispatched = Instant::now();
         let delay_s = dispatched.duration_since(req.enqueued).as_secs_f64();
-        let target = work_unit.mul_f64(req.cost);
+        // In rate-partition mode the stretch slows the class's virtual
+        // server to its allocated rate, so `service_s` below is the
+        // paper's rate-scaled service time X/r — and the recorded
+        // slowdown is exactly the paper's S = W/(X/r).
+        let target = work_unit.mul_f64(req.cost * d.stretch);
         match workload {
-            Workload::Sleep => thread::sleep(target),
+            // Cap the compensation at a quarter of the target so a
+            // noisy calibration can bias a short service only mildly,
+            // while multi-millisecond services get the full correction.
+            Workload::Sleep => thread::sleep(target.saturating_sub(sleep_comp.min(target / 4))),
             Workload::Spin => {
                 let until = dispatched + target;
                 while Instant::now() < until {
@@ -196,6 +244,7 @@ fn worker_loop(
             }
         }
         let service_s = dispatched.elapsed().as_secs_f64();
+        queue.complete(req.class);
         metrics.record(req.class, delay_s, service_s);
         if let Some(tx) = req.notify {
             let _ = tx.send(Completion { delay_s, service_s });
@@ -211,10 +260,14 @@ fn monitor_loop(
 ) {
     let n = cfg.deltas.len();
     let mut estimator = LoadEstimator::new(n, cfg.estimator_history);
-    // Effective "mean service time" as a fraction of pool capacity per
-    // second: one request occupies one worker for cost·work_unit, and
-    // there are `workers` workers.
-    let mean_service_s = cfg.mean_cost * cfg.work_unit.as_secs_f64() / cfg.workers as f64;
+    // Effective "mean service time" as a fraction of machine capacity:
+    // in the shared pool, one request occupies one of `workers` workers
+    // for cost·work_unit; in rate-partition mode the machine is a
+    // single full-rate processor split into the per-class shares.
+    let mean_service_s = match cfg.scheduler {
+        SchedulerKind::RatePartition => cfg.mean_cost * cfg.work_unit.as_secs_f64(),
+        _ => cfg.mean_cost * cfg.work_unit.as_secs_f64() / cfg.workers as f64,
+    };
     while !stop.load(Ordering::SeqCst) {
         thread::sleep(cfg.control_window);
         let window_s = cfg.control_window.as_secs_f64();

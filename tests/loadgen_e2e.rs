@@ -1,0 +1,139 @@
+//! End-to-end load-generation tests: a real `PsdServer` + HTTP
+//! front-end on a loopback socket, driven by the `psd-loadgen`
+//! generator, with the achieved slowdown ratio checked against the
+//! configured δ's — the loop the paper only closes in simulation.
+
+use std::time::Duration;
+
+use psd::loadgen::scenario::ArrivalSpec;
+use psd::loadgen::{harness, LoadMode, LogHistogram, Scenario};
+
+/// A shortened `steady` run: class-1/class-0 slowdown ratio must land
+/// in a band around δ1/δ0 = 2, every request must succeed, and the
+/// JSON report schema must hold together.
+///
+/// The band is wide because a few seconds of measurement over a
+/// heavy-tailed workload on a shared CI core carries real estimator
+/// variance (the 20-second default run lands within ~20% of target);
+/// what the band *must* catch is a dead controller (ratio ≈ 1), an
+/// inverted allocation (ratio < 1), or runaway starvation.
+#[test]
+fn steady_slowdown_ratio_tracks_deltas() {
+    let mut scenario = Scenario::by_name("steady").expect("stock scenario");
+    scenario.duration = Duration::from_secs(7);
+    scenario.warmup = Duration::from_secs(2);
+    scenario.connections = 32;
+
+    let out = harness::run_scenario(&scenario).expect("harness run");
+    let report = &out.report;
+
+    assert_eq!(report.total_errors, 0, "non-2xx or transport errors:\n{}", report.to_markdown());
+    assert_eq!(report.dead_workers, 0);
+    assert!(report.total_sent > 4_000, "sent only {} requests", report.total_sent);
+    for c in &report.classes {
+        assert!(c.measured > 500, "class {} measured only {} responses", c.class, c.measured);
+        assert!(c.latency.p50_ms > 0.0 && c.latency.p999_ms >= c.latency.p50_ms);
+    }
+
+    let target = scenario.deltas[1] / scenario.deltas[0];
+    let ratio = report.classes[1]
+        .slowdown_ratio_vs_class0
+        .expect("both classes completed requests, so the ratio exists");
+    assert!(
+        (0.55 * target..=1.8 * target).contains(&ratio),
+        "achieved slowdown ratio {ratio:.2} outside the tolerance band of δ1/δ0 = {target}:\n{}",
+        report.to_markdown()
+    );
+
+    // The JSON schema CI tracks stays exercised end to end.
+    let json = report.to_json();
+    for key in [
+        "\"scenario\"",
+        "\"deltas\"",
+        "\"total_sent\"",
+        "\"throughput_rps\"",
+        "\"classes\"",
+        "\"mean_slowdown\"",
+        "\"slowdown_ratio_vs_class0\"",
+        "\"target_ratio_vs_class0\"",
+        "\"p99_ms\"",
+        "\"p999_ms\"",
+    ] {
+        assert!(json.contains(key), "JSON report lost the {key} field:\n{json}");
+    }
+    assert!(report.to_markdown().contains("| 1 | 2 |"), "markdown table row per class");
+
+    // Client-side accounting agrees with the server's own books.
+    let server_total: u64 = out.server_stats.classes.iter().map(|c| c.completed).sum();
+    assert_eq!(server_total, report.total_sent, "server completed exactly what was sent");
+}
+
+/// Golden merge/percentile test for the log-bucketed histogram: two
+/// shards merged must report the same percentiles as one histogram fed
+/// everything, and known quantiles of a fixed dataset must come out
+/// within the bucket resolution.
+#[test]
+fn histogram_merge_percentile_golden() {
+    // 1..=100_000 in two interleaved shards.
+    let mut all = LogHistogram::new();
+    let mut shard_a = LogHistogram::new();
+    let mut shard_b = LogHistogram::new();
+    for v in 1..=100_000u64 {
+        all.record(v);
+        if v % 2 == 0 {
+            shard_a.record(v);
+        } else {
+            shard_b.record(v);
+        }
+    }
+    shard_a.merge(&shard_b);
+    assert_eq!(shard_a.count(), all.count());
+
+    // Golden quantiles of the uniform ramp, within the ~3% bucket width.
+    for (q, want) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+        let merged = shard_a.value_at_quantile(q).unwrap() as f64;
+        let direct = all.value_at_quantile(q).unwrap() as f64;
+        assert_eq!(merged, direct, "merge must not move the q={q} percentile");
+        let err = (merged - want).abs() / want;
+        assert!(err < 0.04, "q={q}: got {merged}, want {want} (err {err:.3})");
+    }
+    assert_eq!(shard_a.min(), 1);
+    assert_eq!(shard_a.max(), 100_000);
+    assert!((shard_a.mean() - 50_000.5).abs() < 1e-6);
+}
+
+/// The closed-loop mode drives sessions with think times end to end and
+/// drains cleanly.
+#[test]
+fn closed_loop_sessions_run_clean() {
+    let mut scenario = Scenario::by_name("closed").expect("stock scenario");
+    scenario.duration = Duration::from_millis(1500);
+    scenario.warmup = Duration::from_millis(300);
+    scenario.mode = LoadMode::Closed { sessions: 8, mean_think: Duration::from_millis(4) };
+
+    let out = harness::run_scenario(&scenario).expect("harness run");
+    assert_eq!(out.report.total_errors, 0);
+    assert_eq!(out.report.mode, "closed");
+    assert!(out.report.total_sent > 100, "sessions produced {} requests", out.report.total_sent);
+}
+
+/// A flash-crowd schedule built from the piecewise arrival spec runs
+/// end to end (shortened), exercising the surge path.
+#[test]
+fn flashcrowd_surge_runs_clean() {
+    let mut scenario = Scenario::by_name("flashcrowd").expect("stock scenario");
+    scenario.duration = Duration::from_millis(2400);
+    scenario.warmup = Duration::from_millis(400);
+    scenario.connections = 16;
+    if let LoadMode::Open { arrival } = &mut scenario.mode {
+        *arrival = ArrivalSpec::FlashCrowd {
+            base_rate: 150.0,
+            peak_rate: 450.0,
+            from_frac: 1.0 / 3.0,
+            to_frac: 2.0 / 3.0,
+        };
+    }
+    let out = harness::run_scenario(&scenario).expect("harness run");
+    assert_eq!(out.report.total_errors, 0);
+    assert!(out.report.total_sent > 300, "surge produced {} requests", out.report.total_sent);
+}

@@ -115,6 +115,7 @@ fn all_kernels_complete_work() {
         SchedulerKind::Stride,
         SchedulerKind::Drr(2.0),
         SchedulerKind::Lottery(3),
+        SchedulerKind::RatePartition,
     ] {
         let mut cfg = server_cfg(vec![1.0, 2.0]);
         cfg.scheduler = kind;

@@ -70,6 +70,19 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable usable with [`Mutex`].
 #[derive(Default)]
 pub struct Condvar {
@@ -88,6 +101,19 @@ impl Condvar {
         let inner = guard.inner.take().expect("guard present outside wait");
         let reacquired = self.inner.wait(inner).unwrap_or_else(sync::PoisonError::into_inner);
         guard.inner = Some(reacquired);
+    }
+
+    /// Like [`Condvar::wait`], but give up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present outside wait");
+        let (reacquired, result) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult { timed_out: result.timed_out() }
     }
 
     /// Wake one waiter.
@@ -119,6 +145,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+        drop(g);
+        assert_eq!(*m.lock(), ());
     }
 
     #[test]
