@@ -4,7 +4,8 @@
 //! ```text
 //! psd_loadtest [--scenario steady] [--duration 10s] [--warmup 3s]
 //!              [--connections 64] [--rate R] [--deltas 1,2]
-//!              [--workers W] [--seed N] [--json PATH] [--check MAX_DEV] [--list]
+//!              [--workers W] [--engine threads|reactor] [--seed N]
+//!              [--json PATH] [--check MAX_DEV] [--list]
 //!
 //!   --scenario     steady | burst | flashcrowd | stepload |
 //!                  classmix-shift | closed        (default: steady)
@@ -13,6 +14,9 @@
 //!   --connections  connection pool size (open) / sessions (closed)
 //!   --rate         override the scenario's aggregate arrival rate
 //!   --deltas       comma-separated differentiation parameters
+//!   --engine       HTTP front-end engine under test: threads
+//!                  (one thread per connection, the baseline) or
+//!                  reactor (epoll event loop)   (default: threads)
 //!   --seed         schedule + cost-draw seed
 //!   --json PATH    also write the JSON report to PATH
 //!   --check D      exit non-zero on errors or slowdown-ratio
@@ -24,6 +28,7 @@ use std::time::Duration;
 
 use psd_loadgen::scenario::ArrivalSpec;
 use psd_loadgen::{harness, LoadMode, Scenario};
+use psd_server::EngineKind;
 
 fn main() {
     let mut name = "steady".to_string();
@@ -33,6 +38,7 @@ fn main() {
     let mut rate: Option<f64> = None;
     let mut deltas: Option<Vec<f64>> = None;
     let mut workers: Option<usize> = None;
+    let mut engine: Option<EngineKind> = None;
     let mut seed: Option<u64> = None;
     let mut json_path: Option<String> = None;
     let mut check: Option<f64> = None;
@@ -86,6 +92,14 @@ fn main() {
                         .unwrap_or_else(|| die("--workers needs a positive integer")),
                 );
             }
+            "--engine" => {
+                engine = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(EngineKind::parse)
+                        .unwrap_or_else(|| die("--engine needs 'threads' or 'reactor'")),
+                );
+            }
             "--seed" => {
                 seed = Some(
                     args.next()
@@ -111,8 +125,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: psd_loadtest [--scenario NAME] [--duration 10s] [--warmup 3s] \
-                     [--connections N] [--rate R] [--deltas 1,2] [--seed N] [--json PATH] \
-                     [--check D] [--list]"
+                     [--connections N] [--rate R] [--deltas 1,2] [--workers W] \
+                     [--engine threads|reactor] [--seed N] [--json PATH] [--check D] [--list]"
                 );
                 return;
             }
@@ -178,14 +192,20 @@ fn main() {
     if let Some(w) = workers {
         scenario.server.workers = w;
     }
+    if let Some(e) = engine {
+        scenario.server.engine = e;
+    }
     if let Some(s) = seed {
         scenario.seed = s;
     }
     scenario.validate();
 
     eprintln!(
-        "psd_loadtest: scenario '{}' for {:?} ({} connections)…",
-        scenario.name, scenario.duration, scenario.connections
+        "psd_loadtest: scenario '{}' for {:?} ({} connections, {} engine)…",
+        scenario.name,
+        scenario.duration,
+        scenario.connections,
+        scenario.server.engine.as_str()
     );
     let out = harness::run_scenario(&scenario)
         .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));

@@ -106,19 +106,14 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psd_server::{HttpFrontend, PsdServer, SchedulerKind, ServerConfig, Workload};
+    use psd_server::{HttpFrontend, PsdServer, ServerConfig};
     use std::sync::Arc;
 
     fn tiny_server() -> (HttpFrontend, Arc<PsdServer>) {
         let server = Arc::new(PsdServer::start(ServerConfig {
             deltas: vec![1.0, 2.0],
-            mean_cost: 1.0,
-            scheduler: SchedulerKind::Wfq,
             workers: 2,
-            work_unit: Duration::from_micros(200),
-            workload: Workload::Sleep,
-            control_window: Duration::from_millis(50),
-            estimator_history: 3,
+            ..ServerConfig::default()
         }));
         let fe = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0).expect("bind");
         (fe, server)

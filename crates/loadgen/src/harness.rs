@@ -8,7 +8,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use psd_server::{HttpFrontend, PsdServer, ServerStats};
+use psd_server::{FrontendConfig, HttpFrontend, PsdServer, ServerStats};
 
 use crate::generator;
 use crate::report::LoadReport;
@@ -32,7 +32,18 @@ pub struct RunOutput {
 pub fn run_scenario(scenario: &Scenario) -> io::Result<RunOutput> {
     scenario.validate();
     let server = Arc::new(PsdServer::start(scenario.server_config()));
-    let frontend = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0)?;
+    // Every scenario runs against the engine its profile selects; the
+    // connection pool must fit under the front-end cap (plus headroom
+    // for reconnects racing their predecessor's close).
+    let frontend = HttpFrontend::start_with(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        FrontendConfig {
+            engine: scenario.server.engine,
+            max_connections: (2 * scenario.connections).max(64),
+            ..FrontendConfig::default()
+        },
+    )?;
     let addr = frontend.addr();
 
     let stats = generator::run(addr, scenario)?;

@@ -59,6 +59,10 @@ pub struct ClassReport {
 pub struct LoadReport {
     /// Scenario name.
     pub scenario: String,
+    /// Front-end engine under test (`"threads"` or `"reactor"`), so
+    /// `BENCH_loadgen.json` / `BENCH_reactor.json` are self-describing
+    /// and the perf trajectory can track the engines separately.
+    pub engine: String,
     /// `"open"` or `"closed"`.
     pub mode: String,
     /// Total run length in seconds (including warmup).
@@ -136,6 +140,7 @@ impl LoadReport {
         let total_measured: u64 = classes.iter().map(|c| c.measured).sum();
         LoadReport {
             scenario: scenario.name.clone(),
+            engine: scenario.server.engine.as_str().to_string(),
             mode: mode.to_string(),
             duration_s: scenario.duration.as_secs_f64(),
             warmup_s: scenario.warmup.as_secs_f64(),
@@ -188,10 +193,11 @@ impl LoadReport {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "## Load report — `{}` ({} loop)\n\n\
+            "## Load report — `{}` ({} engine, {} loop)\n\n\
              {:.1}s run ({:.1}s warmup), {} connections, seed {}, δ = {:?}\n\n\
              total: {} sent, {} errors, {:.0} req/s measured\n\n",
             self.scenario,
+            self.engine,
             self.mode,
             self.duration_s,
             self.warmup_s,
@@ -282,6 +288,7 @@ mod tests {
         let json = LoadReport::from_stats(&scenario, &stats).to_json();
         for key in [
             "\"scenario\"",
+            "\"engine\"",
             "\"throughput_rps\"",
             "\"p99_ms\"",
             "\"mean_slowdown\"",

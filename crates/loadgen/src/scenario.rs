@@ -20,7 +20,7 @@ use std::time::Duration;
 use psd_dist::arrival::{ArrivalProcess, Mmpp2, PoissonProcess, StepPoisson};
 use psd_dist::rng::Xoshiro256pp;
 use psd_dist::{BoundedPareto, ServiceDist};
-use psd_server::{SchedulerKind, ServerConfig, Workload};
+use psd_server::{EngineKind, SchedulerKind, ServerConfig, Workload};
 
 /// Piecewise-constant-rate Poisson process: segment `i` holds
 /// `rates[i]` until absolute time `ends[i]`; the last rate holds
@@ -211,6 +211,11 @@ pub struct ServerProfile {
     pub control_window: Duration,
     /// Estimator history in windows.
     pub estimator_history: usize,
+    /// Which HTTP front-end engine serves the run (`--engine` on the
+    /// CLI): thread-per-connection baseline or the epoll reactor. The
+    /// scenario itself is engine-agnostic — every catalog entry runs
+    /// against both.
+    pub engine: EngineKind,
 }
 
 impl Default for ServerProfile {
@@ -227,6 +232,7 @@ impl Default for ServerProfile {
             scheduler: SchedulerKind::RatePartition,
             control_window: Duration::from_millis(500),
             estimator_history: 5,
+            engine: EngineKind::Threads,
         }
     }
 }

@@ -3,12 +3,18 @@
 //! ```text
 //! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
 //!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
+//!           [--engine threads|reactor] [--max-connections 1024]
 //!           [--duration-s N]
 //!
 //! Requests are classified by URL (`/class0/...`, `/premium/...`) or an
 //! `X-Class` header; `?cost=2.5` sets the work amount. Responses carry
 //! `X-Delay-Us` and `X-Slowdown` headers. HTTP/1.1 connections are
 //! kept alive.
+//!
+//! `--engine threads` (default) serves one blocking thread per
+//! connection; `--engine reactor` multiplexes every connection on one
+//! epoll event-loop thread. Past `--max-connections`, new arrivals are
+//! answered `503` + `Connection: close` on either engine.
 //!
 //!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
 //! ```
@@ -21,7 +27,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use psd_server::{httplite::HttpFrontend, PsdServer, SchedulerKind, ServerConfig, Workload};
+use psd_server::{EngineKind, FrontendConfig, HttpFrontend, PsdServer, ServerConfig, Workload};
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
@@ -30,6 +36,8 @@ fn main() {
     let mut work_unit_us = 300u64;
     let mut default_cost = 1.0f64;
     let mut workload = Workload::Sleep;
+    let mut engine = EngineKind::Threads;
+    let mut max_connections = FrontendConfig::default().max_connections;
     let mut duration_s: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -64,6 +72,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--default-cost needs a number"));
             }
+            "--engine" => {
+                engine = args
+                    .next()
+                    .as_deref()
+                    .and_then(EngineKind::parse)
+                    .unwrap_or_else(|| die("--engine needs 'threads' or 'reactor'"));
+            }
+            "--max-connections" => {
+                max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| die("--max-connections needs a positive integer"));
+            }
             "--duration-s" => {
                 duration_s = Some(
                     args.next()
@@ -76,7 +98,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
-                     [--work-unit-us U] [--default-cost C] [--spin] [--duration-s N]"
+                     [--work-unit-us U] [--default-cost C] [--spin] \
+                     [--engine threads|reactor] [--max-connections N] [--duration-s N]"
                 );
                 return;
             }
@@ -84,23 +107,28 @@ fn main() {
         }
     }
 
+    // Everything not exposed as a flag comes from the one documented
+    // default set (control window, estimator history, …).
     let server = Arc::new(PsdServer::start(ServerConfig {
         deltas: deltas.clone(),
         mean_cost: default_cost,
-        scheduler: SchedulerKind::Wfq,
         workers,
         work_unit: Duration::from_micros(work_unit_us),
         workload,
-        control_window: Duration::from_millis(200),
-        estimator_history: 5,
+        ..ServerConfig::default()
     }));
 
-    let frontend = HttpFrontend::start(&addr, Arc::clone(&server), default_cost)
-        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let frontend = HttpFrontend::start_with(
+        &addr,
+        Arc::clone(&server),
+        FrontendConfig { engine, max_connections, default_cost, ..FrontendConfig::default() },
+    )
+    .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
-        "psd_httpd listening on {} — {} classes (deltas {deltas:?}), {workers} worker(s), \
-         {work_unit_us}µs/work-unit",
+        "psd_httpd listening on {} — {} engine, {} classes (deltas {deltas:?}), {workers} \
+         worker(s), {work_unit_us}µs/work-unit, ≤{max_connections} connections",
         frontend.addr(),
+        engine.as_str(),
         deltas.len()
     );
     eprintln!("try: curl 'http://{}/class0/hello?cost=2'", frontend.addr());
@@ -119,10 +147,10 @@ fn main() {
                 .shutdown(Duration::from_secs(10))
                 .unwrap_or_else(|e| die(&format!("drain failed: {e}")));
             if leftover > 0 {
-                // Undrained handlers still hold the server; final stats
-                // are unavailable, so report and exit instead of
+                // Undrained connections still hold the server; final
+                // stats are unavailable, so report and exit instead of
                 // tripping over the Arc.
-                eprintln!("psd_httpd: {leftover} connection handler(s) did not drain in time");
+                eprintln!("psd_httpd: {leftover} connection(s) did not drain in time");
                 std::process::exit(1);
             }
             let stats = Arc::try_unwrap(server)

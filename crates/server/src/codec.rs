@@ -1,0 +1,741 @@
+//! The sans-io HTTP/1.x codec shared by both front-end engines.
+//!
+//! [`RequestCodec`] is a pure state machine: bytes go in through
+//! [`RequestCodec::feed`], complete [`HttpRequest`]s come out of
+//! [`RequestCodec::poll`], and no I/O, clocks, or threads are involved
+//! — which is what lets the same parser drive the blocking
+//! thread-per-connection engine and the epoll reactor, and be
+//! property-tested byte-at-a-time. Bodies are consumed (and discarded)
+//! inside the codec so a request is only emitted once the connection is
+//! at a clean frame for the next head.
+//!
+//! The response direction is symmetric: [`Response::encode_into`]
+//! serializes into a caller-owned buffer and [`WriteBuf`] owns
+//! partial-write resumption, so a reactor connection can flush as much
+//! as the socket accepts and pick up exactly where it left off.
+//!
+//! Parsing is bounded exactly as before the extraction: head lines cap
+//! at [`MAX_HEAD_LINE_BYTES`], heads at [`MAX_HEADERS`] lines, and
+//! drained bodies at [`MAX_BODY_BYTES`] (bigger or chunked bodies still
+//! get a response, followed by a close — see [`HttpRequest::framed`]).
+
+use std::fmt;
+use std::io::{self, Write};
+
+use bytes::Bytes;
+
+/// Longest accepted request-line or header line, in bytes.
+pub const MAX_HEAD_LINE_BYTES: usize = 8 * 1024;
+
+/// Most header lines accepted in one request head.
+pub const MAX_HEADERS: usize = 100;
+
+/// Largest request body the front-end will drain to keep a keep-alive
+/// connection framed; bigger bodies get the response and then a close.
+pub const MAX_BODY_BYTES: u64 = 1024 * 1024;
+
+/// A parsed HTTP-lite request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// Request method (GET, POST, …) — not interpreted.
+    pub method: String,
+    /// Request path (before `?`).
+    pub path: String,
+    /// `cost` query parameter, if present and parseable.
+    pub cost: Option<f64>,
+    /// `X-Class` header value, if present.
+    pub x_class: Option<String>,
+    /// `true` for `HTTP/1.1` (or newer) requests.
+    pub http11: bool,
+    /// Lower-cased `Connection:` header value, if present.
+    pub connection: Option<String>,
+    /// Declared `Content-Length` (0 when absent). Framed bodies are
+    /// drained (and ignored) inside the codec so keep-alive framing
+    /// stays aligned.
+    pub content_length: u64,
+    /// Whether a `Transfer-Encoding` header was present (unsupported —
+    /// the front-end answers and closes).
+    pub chunked: bool,
+}
+
+impl HttpRequest {
+    /// Whether the connection should be kept open after the response:
+    /// the `Connection:` header wins; otherwise HTTP/1.1 defaults to
+    /// keep-alive and HTTP/1.0 to close.
+    pub fn keep_alive(&self) -> bool {
+        match self.connection.as_deref() {
+            Some("keep-alive") => true,
+            Some("close") => false,
+            _ => self.http11,
+        }
+    }
+
+    /// Whether the body could be framed (drained) by the codec. An
+    /// unframed request — chunked, or a body over [`MAX_BODY_BYTES`] —
+    /// still gets its response, but the connection must close after it.
+    pub fn framed(&self) -> bool {
+        !self.chunked && self.content_length <= MAX_BODY_BYTES
+    }
+}
+
+/// A malformed request head; the connection should answer 400 and
+/// close. The payload is the same static reason string the old
+/// `parse_request` attached to its `InvalidData` errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+/// Request-line fields, parsed before any header arrives.
+#[derive(Debug)]
+struct RequestLine {
+    method: String,
+    path: String,
+    cost: Option<f64>,
+    http11: bool,
+}
+
+/// Accumulates one head across feeds.
+#[derive(Debug, Default)]
+struct HeadPartial {
+    line: Option<RequestLine>,
+    x_class: Option<String>,
+    connection: Option<String>,
+    content_length: u64,
+    chunked: bool,
+    n_headers: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Parsing a request head (possibly mid-way).
+    Head(HeadPartial),
+    /// Head emitted a framed request pending body drain; the request is
+    /// held back until its body is fully consumed.
+    Drain { remaining: u64, req: Option<HttpRequest> },
+    /// An unframed request was emitted: the connection must respond and
+    /// close; the codec accepts no further input.
+    Unframed,
+    /// A decode error was returned; the stream is poisoned.
+    Poisoned,
+}
+
+/// Incremental HTTP/1.x request decoder. Feed bytes as they arrive,
+/// poll for requests; the codec never blocks and never reads.
+#[derive(Debug)]
+pub struct RequestCodec {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+    state: State,
+}
+
+impl Default for RequestCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestCodec {
+    /// A fresh decoder at a clean frame boundary.
+    pub fn new() -> Self {
+        Self { buf: Vec::new(), start: 0, state: State::Head(HeadPartial::default()) }
+    }
+
+    /// Append bytes received from the transport.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact before growing: everything before `start` is spent.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when the codec is mid-request: a partial head line, a
+    /// partially parsed head, or an un-drained body. An EOF here is a
+    /// truncated request; an EOF while `!is_mid_request()` is a clean
+    /// keep-alive close.
+    pub fn is_mid_request(&self) -> bool {
+        match &self.state {
+            State::Head(p) => p.line.is_some() || p.n_headers > 0 || self.buffered() > 0,
+            State::Drain { .. } => true,
+            State::Unframed | State::Poisoned => false,
+        }
+    }
+
+    /// Advance the state machine over the buffered bytes. Returns
+    /// `Ok(Some(request))` when a complete request (head + drained
+    /// body) is available, `Ok(None)` when more bytes are needed, and
+    /// `Err` on a malformed head (the caller should answer 400 and
+    /// close; subsequent polls return `Ok(None)`).
+    pub fn poll(&mut self) -> Result<Option<HttpRequest>, DecodeError> {
+        loop {
+            match &mut self.state {
+                State::Unframed | State::Poisoned => return Ok(None),
+                State::Drain { remaining, req } => {
+                    let avail = (self.buf.len() - self.start) as u64;
+                    let take = avail.min(*remaining);
+                    self.start += take as usize;
+                    *remaining -= take;
+                    if *remaining > 0 {
+                        return Ok(None);
+                    }
+                    let req = req.take().expect("drain holds its request");
+                    self.state = State::Head(HeadPartial::default());
+                    return Ok(Some(req));
+                }
+                State::Head(_) => match self.head_step() {
+                    Ok(Some(req)) => return Ok(Some(req)),
+                    Ok(None) if matches!(self.state, State::Drain { .. }) => continue,
+                    Ok(None) => return Ok(None),
+                    Err(e) => {
+                        self.state = State::Poisoned;
+                        return Err(e);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Consume complete head lines from the buffer. `Ok(Some)` when the
+    /// head finished an unframed or bodiless request; `Ok(None)` when
+    /// more bytes are needed *or* the state moved to `Drain`.
+    fn head_step(&mut self) -> Result<Option<HttpRequest>, DecodeError> {
+        loop {
+            let window = &self.buf[self.start..];
+            let Some(nl) = window.iter().position(|&b| b == b'\n') else {
+                if window.len() > MAX_HEAD_LINE_BYTES {
+                    return Err(DecodeError("head line too long"));
+                }
+                return Ok(None);
+            };
+            if nl + 1 > MAX_HEAD_LINE_BYTES {
+                return Err(DecodeError("head line too long"));
+            }
+            let line = std::str::from_utf8(&window[..nl + 1])
+                .map_err(|_| DecodeError("head line is not UTF-8"))?
+                .to_string();
+            self.start += nl + 1;
+
+            let State::Head(partial) = &mut self.state else { unreachable!("head_step in Head") };
+            if partial.line.is_none() {
+                partial.line = Some(parse_request_line(&line)?);
+                continue;
+            }
+            if line.trim().is_empty() {
+                // Blank line: head complete.
+                let partial = std::mem::take(partial);
+                let rl = partial.line.expect("request line parsed above");
+                let req = HttpRequest {
+                    method: rl.method,
+                    path: rl.path,
+                    cost: rl.cost,
+                    x_class: partial.x_class,
+                    http11: rl.http11,
+                    connection: partial.connection,
+                    content_length: partial.content_length,
+                    chunked: partial.chunked,
+                };
+                if !req.framed() {
+                    self.state = State::Unframed;
+                    return Ok(Some(req));
+                }
+                if req.content_length > 0 {
+                    self.state = State::Drain { remaining: req.content_length, req: Some(req) };
+                    return Ok(None); // poll() continues in Drain
+                }
+                self.state = State::Head(HeadPartial::default());
+                return Ok(Some(req));
+            }
+            partial.n_headers += 1;
+            if partial.n_headers > MAX_HEADERS {
+                return Err(DecodeError("too many headers"));
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("x-class") {
+                    partial.x_class = Some(value.trim().to_string());
+                } else if name.eq_ignore_ascii_case("connection") {
+                    partial.connection = Some(value.trim().to_ascii_lowercase());
+                } else if name.eq_ignore_ascii_case("content-length") {
+                    partial.content_length =
+                        value.trim().parse().map_err(|_| DecodeError("bad Content-Length"))?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    partial.chunked = true;
+                }
+            }
+        }
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<RequestLine, DecodeError> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or(DecodeError("missing request target"))?.to_string();
+    if method.is_empty() {
+        return Err(DecodeError("empty request line"));
+    }
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/") {
+        return Err(DecodeError("bad HTTP version token"));
+    }
+    let http11 = version != "HTTP/1.0" && version != "HTTP/0.9";
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    let cost = query.as_deref().and_then(|q| {
+        q.split('&').find_map(|kv| kv.strip_prefix("cost=")).and_then(|v| v.parse::<f64>().ok())
+    });
+    Ok(RequestLine { method, path, cost, http11 })
+}
+
+/// One HTTP-lite response, ready to serialize. Both engines build the
+/// same three shapes (200 with timing headers, 503, 400) through this
+/// struct so the wire format cannot drift between them.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// `true` → `HTTP/1.1` status line, else `HTTP/1.0`.
+    pub http11: bool,
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Emitted as `Connection: keep-alive` / `close`.
+    pub keep_alive: bool,
+    /// Extra headers, in order (e.g. `X-Class`, `X-Delay-Us`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body; `Content-Length` is always emitted.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A bodiless response with no extra headers (400/503 shapes).
+    pub fn empty(http11: bool, status: u16, reason: &'static str, keep_alive: bool) -> Self {
+        Self { http11, status, reason, keep_alive, extra_headers: Vec::new(), body: Bytes::new() }
+    }
+
+    /// Serialize head + body onto the end of `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let proto = if self.http11 { "HTTP/1.1" } else { "HTTP/1.0" };
+        let conn = if self.keep_alive { "keep-alive" } else { "close" };
+        out.extend_from_slice(
+            format!(
+                "{proto} {} {}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
+                self.status,
+                self.reason,
+                self.body.len()
+            )
+            .as_bytes(),
+        );
+        for (name, value) in &self.extra_headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize into a fresh buffer (blocking-engine convenience).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// An outgoing byte buffer with partial-write resumption: the reactor
+/// writes as much as the socket accepts, keeps the rest, and resumes at
+/// the exact offset on the next writable event.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes still waiting to be written.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Queue a response behind whatever is still pending.
+    pub fn push_response(&mut self, resp: &Response) {
+        self.compact();
+        resp.encode_into(&mut self.buf);
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Write as much pending data as `w` accepts. Returns `Ok(true)`
+    /// when the buffer drained completely, `Ok(false)` when the writer
+    /// would block (resume on the next writable event), and `Err` on
+    /// transport errors. A short write is not an error — the offset
+    /// simply advances.
+    pub fn flush_into<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.compact();
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decode one request from a complete byte string, asserting no
+    /// leftover state when `exact` (mirrors the old parse_request
+    /// single-shot tests).
+    fn decode_one(raw: &[u8]) -> Result<Option<HttpRequest>, DecodeError> {
+        let mut c = RequestCodec::new();
+        c.feed(raw);
+        c.poll()
+    }
+
+    fn decode_ok(raw: &str) -> HttpRequest {
+        decode_one(raw.as_bytes()).expect("decodes").expect("complete")
+    }
+
+    fn decode_err(raw: &str) -> DecodeError {
+        decode_one(raw.as_bytes()).expect_err("must reject")
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let r = decode_ok("GET /class1/page?cost=2.5&x=1 HTTP/1.0\r\nHost: a\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/class1/page");
+        assert_eq!(r.cost, Some(2.5));
+        assert_eq!(r.x_class, None);
+        assert!(!r.http11);
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn parses_x_class_header() {
+        let r = decode_ok("POST / HTTP/1.0\r\nX-Class: 2\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(r.x_class.as_deref(), Some("2"));
+        assert_eq!(r.cost, None);
+    }
+
+    #[test]
+    fn case_insensitive_header() {
+        let r = decode_ok("GET / HTTP/1.0\r\nx-CLASS: 1\r\n\r\n");
+        assert_eq!(r.x_class.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn empty_input_needs_more() {
+        let mut c = RequestCodec::new();
+        assert_eq!(c.poll(), Ok(None));
+        assert!(!c.is_mid_request(), "no bytes yet: an EOF here is a clean close");
+    }
+
+    #[test]
+    fn bad_cost_ignored() {
+        let r = decode_ok("GET /?cost=abc HTTP/1.0\r\n\r\n");
+        assert_eq!(r.cost, None);
+    }
+
+    #[test]
+    fn http11_defaults_to_keep_alive() {
+        let r = decode_ok("GET / HTTP/1.1\r\n\r\n");
+        assert!(r.http11);
+        assert!(r.keep_alive());
+        let r = decode_ok("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn http10_keep_alive_opt_in() {
+        let r = decode_ok("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(!r.http11);
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn missing_target_rejected() {
+        assert_eq!(decode_err("GET\r\n\r\n"), DecodeError("missing request target"));
+    }
+
+    #[test]
+    fn bad_version_token_rejected() {
+        assert_eq!(decode_err("GET / JUNK/9\r\n\r\n"), DecodeError("bad HTTP version token"));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.0\r\n\r\n", "a".repeat(MAX_HEAD_LINE_BYTES));
+        assert_eq!(decode_err(&raw), DecodeError("head line too long"));
+    }
+
+    #[test]
+    fn oversized_line_rejected_before_newline_arrives() {
+        // A hostile client streaming an endless line must be rejected
+        // from buffered length alone — no newline ever comes.
+        let mut c = RequestCodec::new();
+        c.feed(&vec![b'a'; MAX_HEAD_LINE_BYTES + 2]);
+        assert_eq!(c.poll(), Err(DecodeError("head line too long")));
+    }
+
+    #[test]
+    fn oversized_header_line_rejected() {
+        let raw = format!("GET / HTTP/1.0\r\nX-Junk: {}\r\n\r\n", "b".repeat(MAX_HEAD_LINE_BYTES));
+        assert_eq!(decode_err(&raw), DecodeError("head line too long"));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = String::from("GET / HTTP/1.0\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(decode_err(&raw), DecodeError("too many headers"));
+    }
+
+    #[test]
+    fn non_utf8_head_rejected() {
+        let e = decode_one(b"GET /\xff\xfe HTTP/1.0\r\n\r\n").unwrap_err();
+        assert_eq!(e, DecodeError("head line is not UTF-8"));
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        assert_eq!(
+            decode_err("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n"),
+            DecodeError("bad Content-Length")
+        );
+    }
+
+    #[test]
+    fn truncated_head_is_mid_request() {
+        let mut c = RequestCodec::new();
+        c.feed(b"GET / HTTP/1.0");
+        assert_eq!(c.poll(), Ok(None));
+        assert!(c.is_mid_request(), "an EOF now is a truncated request, not a clean close");
+    }
+
+    #[test]
+    fn byte_at_a_time_parse() {
+        let raw = b"GET /class1/x?cost=1.5 HTTP/1.1\r\nX-Class: 1\r\nConnection: close\r\n\r\n";
+        let mut c = RequestCodec::new();
+        for (i, b) in raw.iter().enumerate() {
+            assert_eq!(c.poll(), Ok(None), "no request before byte {i}");
+            c.feed(std::slice::from_ref(b));
+        }
+        let req = c.poll().unwrap().expect("complete after the last byte");
+        assert_eq!(req.path, "/class1/x");
+        assert_eq!(req.cost, Some(1.5));
+        assert_eq!(req.x_class.as_deref(), Some("1"));
+        assert!(!req.keep_alive());
+        assert!(!c.is_mid_request());
+    }
+
+    #[test]
+    fn body_drained_before_emit_and_frames_stay_aligned() {
+        let mut c = RequestCodec::new();
+        c.feed(b"POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel");
+        assert_eq!(c.poll(), Ok(None), "body incomplete: request held back");
+        assert!(c.is_mid_request());
+        c.feed(b"loGET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let a = c.poll().unwrap().expect("first request after body");
+        assert_eq!(a.path, "/a");
+        assert_eq!(a.content_length, 5);
+        let b = c.poll().unwrap().expect("second request parsed from the same feed");
+        assert_eq!(b.path, "/b", "body bytes must not desync the parser");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut c = RequestCodec::new();
+        c.feed(b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\nGET /3 HTTP/1.1\r\n\r\n");
+        for want in ["/1", "/2", "/3"] {
+            assert_eq!(c.poll().unwrap().expect("pipelined").path, want);
+        }
+        assert_eq!(c.poll(), Ok(None));
+    }
+
+    #[test]
+    fn chunked_is_unframed_and_terminal() {
+        let mut c = RequestCodec::new();
+        c.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let r = c.poll().unwrap().expect("request emitted");
+        assert!(r.chunked);
+        assert!(!r.framed());
+        c.feed(b"5\r\nhello\r\n0\r\n\r\n");
+        assert_eq!(c.poll(), Ok(None), "unframed: codec refuses to parse past the body");
+    }
+
+    #[test]
+    fn oversized_body_is_unframed() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let r = decode_ok(&raw);
+        assert!(!r.framed());
+        assert_eq!(r.content_length, MAX_BODY_BYTES + 1);
+    }
+
+    #[test]
+    fn poisoned_codec_stays_quiet() {
+        let mut c = RequestCodec::new();
+        c.feed(b"GET\r\n");
+        assert!(c.poll().is_err());
+        c.feed(b"GET / HTTP/1.0\r\n\r\n");
+        assert_eq!(c.poll(), Ok(None), "a rejected stream yields nothing further");
+    }
+
+    #[test]
+    fn response_encodes_head_then_body() {
+        let resp = Response {
+            http11: true,
+            status: 200,
+            reason: "OK",
+            keep_alive: true,
+            extra_headers: vec![("X-Class", "1".to_string()), ("X-Slowdown", "2.5".to_string())],
+            body: Bytes::from("hello\n"),
+        };
+        let s = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 6\r\n"), "{s}");
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        assert!(s.contains("X-Class: 1\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nhello\n"), "{s}");
+    }
+
+    #[test]
+    fn empty_response_shapes() {
+        let s =
+            String::from_utf8(Response::empty(false, 503, "Service Unavailable", false).to_bytes())
+                .unwrap();
+        assert_eq!(
+            s,
+            "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        );
+    }
+
+    /// A writer that accepts a scripted number of bytes per call, then
+    /// signals `WouldBlock` — the shape of a nonblocking socket.
+    struct Throttle {
+        accepted: Vec<u8>,
+        quota: std::collections::VecDeque<usize>,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            match self.quota.pop_front() {
+                Some(0) | None => Err(io::ErrorKind::WouldBlock.into()),
+                Some(n) => {
+                    let take = n.min(data.len());
+                    self.accepted.extend_from_slice(&data[..take]);
+                    Ok(take)
+                }
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_resumes_after_partial_writes() {
+        let resp = Response {
+            http11: true,
+            status: 200,
+            reason: "OK",
+            keep_alive: false,
+            extra_headers: vec![],
+            body: Bytes::from("0123456789".repeat(20)),
+        };
+        let mut wb = WriteBuf::new();
+        wb.push_response(&resp);
+        let total = wb.pending();
+        let mut w = Throttle { accepted: Vec::new(), quota: [7, 3, 0].into() };
+        assert!(!wb.flush_into(&mut w).unwrap(), "blocked after 10 bytes");
+        assert_eq!(wb.pending(), total - 10);
+        // Next writable event: the rest goes out in two gulps.
+        let mut w2 = Throttle { accepted: Vec::new(), quota: [total, total].into() };
+        assert!(wb.flush_into(&mut w2).unwrap());
+        assert!(wb.is_empty());
+        let mut whole = w.accepted;
+        whole.extend_from_slice(&w2.accepted);
+        assert_eq!(whole, resp.to_bytes(), "resumed bytes splice exactly");
+    }
+
+    #[test]
+    fn write_buf_queues_back_to_back_responses() {
+        let a = Response::empty(true, 200, "OK", true);
+        let b = Response::empty(true, 503, "Service Unavailable", false);
+        let mut wb = WriteBuf::new();
+        wb.push_response(&a);
+        wb.push_response(&b);
+        let mut out = Vec::new();
+        assert!(wb.flush_into(&mut out).unwrap());
+        let mut want = a.to_bytes();
+        want.extend_from_slice(&b.to_bytes());
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn write_zero_is_an_error() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.push_response(&Response::empty(true, 200, "OK", true));
+        assert_eq!(wb.flush_into(&mut Dead).unwrap_err().kind(), io::ErrorKind::WriteZero);
+    }
+}

@@ -72,19 +72,15 @@ pub fn drive(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{SchedulerKind, ServerConfig, Workload};
+    use crate::server::ServerConfig;
     use psd_dist::Deterministic;
 
     fn server(deltas: Vec<f64>) -> Arc<PsdServer> {
         Arc::new(PsdServer::start(ServerConfig {
             deltas,
-            mean_cost: 1.0,
-            scheduler: SchedulerKind::Wfq,
             workers: 2,
             work_unit: Duration::from_micros(100),
-            workload: Workload::Sleep,
-            control_window: Duration::from_millis(25),
-            estimator_history: 3,
+            ..ServerConfig::default()
         }))
     }
 

@@ -1,44 +1,54 @@
-//! A deliberately tiny HTTP/1.0–1.1 front-end for the PSD server:
-//! parse the request head, classify (`X-Class` header or URL prefix),
+//! The HTTP-lite front-end: classify (`X-Class` header or URL prefix),
 //! execute through the PSD dispatch queue, and answer with timing
 //! headers so external clients can observe their slowdown.
 //!
-//! HTTP/1.1 connections are kept alive (and `Connection:` headers are
-//! honored in both directions), so load generators are not bottlenecked
-//! on per-request TCP handshakes; HTTP/1.0 defaults to close. Request
-//! parsing is bounded — header lines are capped at
-//! [`MAX_HEAD_LINE_BYTES`] and heads at [`MAX_HEADERS`] lines — so a
+//! Two interchangeable engines serve the same protocol (selected by
+//! [`FrontendConfig::engine`], surfaced as `--engine` on the binaries):
+//!
+//! * [`EngineKind::Threads`] — the legacy baseline: one OS thread per
+//!   connection, blocked in `submit_sync` while the PSD queue runs the
+//!   request. Simple, and fine up to a few dozen connections.
+//! * [`EngineKind::Reactor`] — an epoll event loop
+//!   ([`crate::reactor`]): all connections multiplexed on one thread,
+//!   PSD workers reply through a completion mailbox + poller wakeup.
+//!   Hundreds of keep-alive connections cost file descriptors, not
+//!   threads.
+//!
+//! Both engines share the sans-io parser and serializer in
+//! [`crate::codec`] (so the wire behavior cannot drift), the vendored
+//! [`polling`] readiness poller for accept (no accept-poll sleep), a
+//! [`FrontendConfig::max_connections`] cap answered with `503` +
+//! `Connection: close`, and a [`FrontendConfig::idle_timeout`] for
+//! keep-alive connections. HTTP/1.1 connections are kept alive
+//! (`Connection:` headers honored in both directions); HTTP/1.0
+//! defaults to close. Parsing is bounded (see the codec's limits), so a
 //! hostile client cannot feed the parser unbounded input.
 //!
 //! This is not a web server — it exists so the "Internet server" in the
 //! paper's title is an actual socket-accepting program in the examples,
 //! the load-generation harness (`psd-loadgen`) and integration tests.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
+use polling::{Interest, Poller};
+
+pub use crate::codec::{HttpRequest, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_LINE_BYTES};
 
 use crate::classify::classify;
-use crate::server::PsdServer;
-
-/// Longest accepted request-line or header line, in bytes.
-pub const MAX_HEAD_LINE_BYTES: usize = 8 * 1024;
-
-/// Most header lines accepted in one request head.
-pub const MAX_HEADERS: usize = 100;
-
-/// Largest request body the front-end will drain to keep a keep-alive
-/// connection framed; bigger bodies get the response and then a close.
-pub const MAX_BODY_BYTES: u64 = 1024 * 1024;
+use crate::codec::{RequestCodec, Response};
+use crate::reactor;
+use crate::server::{Completion, PsdServer};
 
 /// How long an idle keep-alive connection waits for the next request
-/// before re-checking the stop flag.
+/// before re-checking the stop flag (threaded engine's read timeout).
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// Consecutive mid-request read timeouts tolerated before the
@@ -46,300 +56,221 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// half-written request head to a few seconds).
 const MAX_MID_REQUEST_STALLS: u32 = 50;
 
-/// A parsed HTTP-lite request.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HttpRequest {
-    /// Request method (GET, POST, …) — not interpreted.
-    pub method: String,
-    /// Request path (before `?`).
-    pub path: String,
-    /// `cost` query parameter, if present and parseable.
-    pub cost: Option<f64>,
-    /// `X-Class` header value, if present.
-    pub x_class: Option<String>,
-    /// `true` for `HTTP/1.1` (or newer) requests.
-    pub http11: bool,
-    /// Lower-cased `Connection:` header value, if present.
-    pub connection: Option<String>,
-    /// Declared `Content-Length` (0 when absent). The front-end drains
-    /// (and ignores) up to [`MAX_BODY_BYTES`] of body so keep-alive
-    /// framing stays aligned.
-    pub content_length: u64,
-    /// Whether a `Transfer-Encoding` header was present (unsupported —
-    /// the front-end answers and closes).
-    pub chunked: bool,
+/// How long the accept loop parks in the poller between stop-flag
+/// checks when no connection arrives. [`HttpFrontend::shutdown`] cuts
+/// the wait short with [`Poller::notify`]; for the bare [`serve`] loop
+/// (whose caller only has the stop flag) this bounds stop latency, so
+/// it stays small — still 25× fewer idle wakeups than the removed 2 ms
+/// accept-poll sleep.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// Which front-end engine serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Thread per connection, blocking I/O (the legacy baseline).
+    Threads,
+    /// One epoll event-loop thread multiplexing every connection.
+    Reactor,
 }
 
-impl HttpRequest {
-    /// Whether the connection should be kept open after the response:
-    /// the `Connection:` header wins; otherwise HTTP/1.1 defaults to
-    /// keep-alive and HTTP/1.0 to close.
-    pub fn keep_alive(&self) -> bool {
-        match self.connection.as_deref() {
-            Some("keep-alive") => true,
-            Some("close") => false,
-            _ => self.http11,
+impl EngineKind {
+    /// Parse a CLI token (`threads` | `reactor`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(EngineKind::Threads),
+            "reactor" => Some(EngineKind::Reactor),
+            _ => None,
         }
     }
-}
 
-/// Wait until the reader has buffered data (or hit EOF), applying the
-/// shared stall policy: `Interrupted` retries, `WouldBlock`/`TimedOut`
-/// counts against `stalls` (reset whenever data arrives) and turns into
-/// `InvalidData(what)` past [`MAX_MID_REQUEST_STALLS`] *consecutive*
-/// timeouts. With `idle_ok` the first timeout is passed through raw
-/// instead (the idle keep-alive case — the caller may safely retry).
-/// Returns the number of buffered bytes (0 = EOF); the data itself is
-/// re-read via `fill_buf`, which is then a buffered no-op.
-fn await_data<R: BufRead>(
-    reader: &mut R,
-    stalls: &mut u32,
-    idle_ok: bool,
-    what: &'static str,
-) -> io::Result<usize> {
-    loop {
-        match reader.fill_buf() {
-            Ok(c) => {
-                if !c.is_empty() {
-                    *stalls = 0; // data arrived: the client is making progress
-                }
-                return Ok(c.len());
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if idle_ok {
-                    return Err(e);
-                }
-                *stalls += 1;
-                if *stalls > MAX_MID_REQUEST_STALLS {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, what));
-                }
-            }
-            Err(e) => return Err(e),
+    /// The CLI token for this engine.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Threads => "threads",
+            EngineKind::Reactor => "reactor",
         }
     }
 }
 
-/// Read one `\n`-terminated head line, rejecting lines longer than
-/// `max` bytes and non-UTF-8 bytes. Returns `Ok(None)` at EOF before
-/// any byte of the line arrived.
-///
-/// A `WouldBlock`/`TimedOut` read error is passed through *only* when
-/// no byte of the line has arrived yet (an idle keep-alive connection);
-/// once a line has started, timeouts are retried up to
-/// [`MAX_MID_REQUEST_STALLS`] consecutive times so a slow-but-live
-/// client is not corrupted by the idle-poll deadline.
-fn read_head_line<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Option<String>> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut stalls = 0u32;
-    loop {
-        let n = await_data(reader, &mut stalls, buf.is_empty(), "stalled mid-request")?;
-        if n == 0 {
-            // EOF: a clean close between requests, or a truncated line.
-            if buf.is_empty() {
-                return Ok(None);
-            }
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head line"));
-        }
-        let chunk = reader.fill_buf()?; // buffered: returns the awaited bytes
-        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(i) => (i + 1, true),
-            None => (chunk.len(), false),
-        };
-        if buf.len() + taken > max {
-            // Oversized line: consume what we saw and reject.
-            reader.consume(taken);
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "head line too long"));
-        }
-        buf.extend_from_slice(&chunk[..taken]);
-        reader.consume(taken);
-        if done {
-            let line = String::from_utf8(buf).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "head line is not UTF-8")
-            })?;
-            return Ok(Some(line));
+/// Front-end configuration shared by both engines.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Which engine serves connections.
+    pub engine: EngineKind,
+    /// Most concurrently open connections; excess accepts are answered
+    /// `503 Service Unavailable` + `Connection: close` immediately.
+    pub max_connections: usize,
+    /// Idle keep-alive connections (no request in flight, no bytes
+    /// arriving) are closed after this long — slow-loris heads count as
+    /// idle too, since only *arriving bytes* refresh the clock.
+    pub idle_timeout: Duration,
+    /// Cost assigned to requests without a `?cost=` parameter.
+    pub default_cost: f64,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::Threads,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(30),
+            default_cost: 1.0,
         }
     }
 }
 
-/// Parse the head of an HTTP request (request line + headers).
-///
-/// Errors are sorted by kind so connection loops can react:
-/// `UnexpectedEof` means the client closed before a request line (clean
-/// keep-alive close), `WouldBlock`/`TimedOut` means an idle connection
-/// hit its read timeout with no bytes consumed (safe to retry), and
-/// `InvalidData` means a malformed head (answer 400 and close).
-pub fn parse_request<R: BufRead>(reader: &mut R) -> io::Result<HttpRequest> {
-    let line = read_head_line(reader, MAX_HEAD_LINE_BYTES)?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "closed before request"))?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let target = match parts.next() {
-        Some(t) => t.to_string(),
-        None => {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "missing request target"));
-        }
-    };
-    if method.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty request line"));
+/// Map a parsed request onto (class, cost) for the PSD queue. The cost
+/// is clamped into the finite band `submit` accepts — `?cost=inf`
+/// parses as a valid f64 and would otherwise trip the queue's
+/// positivity assert, letting one request panic a serving thread (or
+/// the whole reactor loop).
+pub(crate) fn class_and_cost(
+    server: &PsdServer,
+    req: &HttpRequest,
+    default_cost: f64,
+) -> (usize, f64) {
+    let class = classify(&req.path, req.x_class.as_deref(), server.num_classes() - 1).class;
+    let mut cost = req.cost.unwrap_or(default_cost);
+    if !cost.is_finite() {
+        cost = 1.0;
     }
-    let version = parts.next().unwrap_or("HTTP/1.0");
-    if !version.starts_with("HTTP/") {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad HTTP version token"));
-    }
-    let http11 = version != "HTTP/1.0" && version != "HTTP/0.9";
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), Some(q.to_string())),
-        None => (target, None),
-    };
-    let cost = query.as_deref().and_then(|q| {
-        q.split('&').find_map(|kv| kv.strip_prefix("cost=")).and_then(|v| v.parse::<f64>().ok())
-    });
-    let mut x_class = None;
-    let mut connection = None;
-    let mut content_length = 0u64;
-    let mut chunked = false;
-    let mut n_headers = 0usize;
-    // Once the request line is consumed, an idle-poll timeout must NOT
-    // escape to the caller — it would retry parse_request and misread
-    // the remaining headers as a fresh request line. Between-line
-    // timeouts inside one head are retried like mid-line stalls.
-    let mut head_stalls = 0u32;
-    // EOF inside the head ends it (tolerated, as before the rewrite).
-    loop {
-        let header = match read_head_line(reader, MAX_HEAD_LINE_BYTES) {
-            Ok(Some(h)) => h,
-            Ok(None) => break,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                head_stalls += 1;
-                if head_stalls > MAX_MID_REQUEST_STALLS {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "stalled mid-head"));
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        head_stalls = 0; // a full line arrived: progress
-        if header.trim().is_empty() {
-            break;
-        }
-        n_headers += 1;
-        if n_headers > MAX_HEADERS {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "too many headers"));
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let name = name.trim();
-            if name.eq_ignore_ascii_case("x-class") {
-                x_class = Some(value.trim().to_string());
-            } else if name.eq_ignore_ascii_case("connection") {
-                connection = Some(value.trim().to_ascii_lowercase());
-            } else if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
-                })?;
-            } else if name.eq_ignore_ascii_case("transfer-encoding") {
-                chunked = true;
-            }
-        }
-    }
-    Ok(HttpRequest { method, path, cost, x_class, http11, connection, content_length, chunked })
+    (class, cost.clamp(1e-3, 1e9))
 }
 
-/// Consume and discard `remaining` body bytes so the next request on a
-/// keep-alive connection starts at a clean frame. Read timeouts are
-/// tolerated while the body trickles in (same stall policy as heads).
-fn drain_body<R: BufRead>(reader: &mut R, mut remaining: u64) -> io::Result<()> {
-    let mut stalls = 0u32;
-    while remaining > 0 {
-        let n = await_data(reader, &mut stalls, false, "stalled mid-body")?;
-        if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated body"));
-        }
-        let take = (n as u64).min(remaining) as usize;
-        reader.consume(take);
-        remaining -= take as u64;
+/// The `200 OK` response both engines send for an executed request.
+pub(crate) fn ok_response(
+    req: &HttpRequest,
+    class: usize,
+    cost: f64,
+    done: &Completion,
+    keep_alive: bool,
+) -> Response {
+    let body = Bytes::from(format!(
+        "served path={} class={} cost={:.3} delay_s={:.6} service_s={:.6} slowdown={:.3}\n",
+        req.path,
+        class,
+        cost,
+        done.delay_s,
+        done.service_s,
+        done.slowdown()
+    ));
+    Response {
+        http11: req.http11,
+        status: 200,
+        reason: "OK",
+        keep_alive,
+        extra_headers: vec![
+            ("X-Class", class.to_string()),
+            ("X-Delay-Us", ((done.delay_s * 1e6) as u64).to_string()),
+            ("X-Slowdown", format!("{:.4}", done.slowdown())),
+        ],
+        body,
     }
-    Ok(())
+}
+
+/// `400 Bad Request`, always closing (malformed head — the framing is
+/// unknown, so the HTTP/1.0 status line is the safe common ground).
+pub(crate) fn bad_request() -> Response {
+    Response::empty(false, 400, "Bad Request", false)
+}
+
+/// `503 Service Unavailable`, always closing.
+pub(crate) fn service_unavailable(http11: bool) -> Response {
+    Response::empty(http11, 503, "Service Unavailable", false)
+}
+
+/// Answer one over-cap accept with 503 and drop the connection. Writes
+/// with a short timeout so a client that never reads cannot wedge the
+/// accept path.
+fn reject_saturated(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(&service_unavailable(true).to_bytes());
 }
 
 /// Serve requests on one connection until it closes, errors, asks for
-/// `Connection: close`, or `stop` flips while the connection is idle.
-fn handle_connection(stream: TcpStream, server: &PsdServer, default_cost: f64, stop: &AtomicBool) {
+/// `Connection: close`, idles past the timeout, or `stop` flips while
+/// the connection is idle. (Threaded engine: the codec does the
+/// parsing; this loop owns the blocking socket and the stall policy.)
+fn handle_connection(
+    stream: TcpStream,
+    server: &PsdServer,
+    default_cost: f64,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) {
     // The idle poll lets keep-alive handlers notice a drain request.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
     let mut stream = stream;
+    let mut codec = RequestCodec::new();
+    let mut chunk = [0u8; 8192];
+    let mut stalls = 0u32;
+    let mut idle_since = Instant::now();
     loop {
-        let req = match parse_request(&mut reader) {
-            Ok(r) => r,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if stop.load(Ordering::SeqCst) {
-                    return; // graceful drain: close the idle connection
-                }
-                continue;
-            }
+        // Serve everything already parsed before reading again.
+        match codec.poll() {
             Err(_) => {
-                let _ = stream.write_all(b"HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n");
+                let _ = stream.write_all(&bad_request().to_bytes());
                 return;
             }
-        };
-        let proto = if req.http11 { "HTTP/1.1" } else { "HTTP/1.0" };
-        // A body we can bound is drained so the next request starts at
-        // a clean frame; chunked or oversized bodies get their response
-        // and then a close (we never re-read such a connection).
-        let framed = !req.chunked && req.content_length <= MAX_BODY_BYTES;
-        if framed && req.content_length > 0 && drain_body(&mut reader, req.content_length).is_err()
-        {
-            let _ = stream.write_all(b"HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n");
-            return;
-        }
-        // Stop keeping alive once a drain began so shutdown converges.
-        let keep = req.keep_alive() && framed && !stop.load(Ordering::SeqCst);
-        let conn_header = if keep { "keep-alive" } else { "close" };
-        let class = classify(&req.path, req.x_class.as_deref(), server.num_classes() - 1).class;
-        let cost = req.cost.unwrap_or(default_cost).max(1e-3);
-        match server.submit_sync(class, cost) {
-            Some(done) => {
-                let body = Bytes::from(format!(
-                    "served path={} class={} cost={:.3} delay_s={:.6} service_s={:.6} slowdown={:.3}\n",
-                    req.path,
-                    class,
-                    cost,
-                    done.delay_s,
-                    done.service_s,
-                    done.slowdown()
-                ));
-                let head = format!(
-                    "{proto} 200 OK\r\nContent-Length: {}\r\nConnection: {conn_header}\r\nX-Class: {}\r\nX-Delay-Us: {}\r\nX-Slowdown: {:.4}\r\n\r\n",
-                    body.len(),
-                    class,
-                    (done.delay_s * 1e6) as u64,
-                    done.slowdown()
-                );
-                if stream.write_all(head.as_bytes()).is_err() || stream.write_all(&body).is_err() {
+            Ok(Some(req)) => {
+                // Stop keeping alive once a drain began so shutdown
+                // converges; unframed bodies force a close too.
+                let keep = req.keep_alive() && req.framed() && !stop.load(Ordering::SeqCst);
+                let (class, cost) = class_and_cost(server, &req, default_cost);
+                let written = match server.submit_sync(class, cost) {
+                    Some(done) => {
+                        stream.write_all(&ok_response(&req, class, cost, &done, keep).to_bytes())
+                    }
+                    None => {
+                        let _ = stream.write_all(&service_unavailable(req.http11).to_bytes());
+                        return;
+                    }
+                };
+                if written.is_err() || !keep {
                     return;
                 }
+                idle_since = Instant::now();
+                continue;
             }
-            None => {
-                let _ = stream.write_all(
-                    format!("{proto} 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
-                        .as_bytes(),
-                );
-                return;
-            }
+            Ok(None) => {}
         }
-        if !keep {
-            return;
+        match stream.read(&mut chunk) {
+            // EOF: a clean close between requests, or a truncated
+            // request — either way there is nothing left to answer.
+            Ok(0) => return,
+            Ok(n) => {
+                codec.feed(&chunk[..n]);
+                stalls = 0; // data arrived: the client is making progress
+                idle_since = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if codec.is_mid_request() {
+                    stalls += 1;
+                    if stalls > MAX_MID_REQUEST_STALLS {
+                        let _ = stream.write_all(&bad_request().to_bytes());
+                        return;
+                    }
+                } else {
+                    if stop.load(Ordering::SeqCst) {
+                        return; // graceful drain: close the idle connection
+                    }
+                    if idle_since.elapsed() >= idle_timeout {
+                        return; // idle keep-alive expired
+                    }
+                }
+            }
+            Err(_) => return,
         }
     }
 }
 
-/// Counts in-flight connection handlers so a drain can wait for them.
+/// Counts in-flight connection handlers so a drain can wait for them
+/// and the accept loop can enforce the connection cap.
 #[derive(Default)]
 struct ConnTracker {
     active: Mutex<usize>,
@@ -359,13 +290,26 @@ impl ConnTracker {
         }
     }
 
+    /// RAII completion: releases the handler's `PsdServer` `Arc` and
+    /// then reports the slot free — **also on unwind**, so a panicking
+    /// handler cannot leak a `max_connections` slot or wedge
+    /// `wait_idle` forever.
+    fn guard(self: &Arc<Self>, server: Arc<PsdServer>) -> HandlerGuard {
+        self.started();
+        HandlerGuard { server: Some(server), tracker: Arc::clone(self) }
+    }
+
+    fn active(&self) -> usize {
+        *self.active.lock()
+    }
+
     /// Wait until no handler is running, up to `timeout`. Returns the
     /// number of handlers still alive (0 on success).
     fn wait_idle(&self, timeout: Duration) -> usize {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let mut g = self.active.lock();
         while *g > 0 {
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 break;
             }
@@ -375,41 +319,83 @@ impl ConnTracker {
     }
 }
 
+/// See [`ConnTracker::guard`].
+struct HandlerGuard {
+    server: Option<Arc<PsdServer>>,
+    tracker: Arc<ConnTracker>,
+}
+
+impl HandlerGuard {
+    fn server(&self) -> &PsdServer {
+        self.server.as_deref().expect("held until drop")
+    }
+}
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        // Release the server before reporting done, so a drain that saw
+        // zero handlers can unwrap the Arc.
+        self.server.take();
+        self.tracker.finished();
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     server: Arc<PsdServer>,
-    default_cost: f64,
+    cfg: FrontendConfig,
     stop: Arc<AtomicBool>,
     tracker: Arc<ConnTracker>,
+    poller: Arc<Poller>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                let server = Arc::clone(&server);
-                let stop = Arc::clone(&stop);
-                let tracker = Arc::clone(&tracker);
-                tracker.started();
-                thread::spawn(move || {
-                    handle_connection(stream, &server, default_cost, &stop);
-                    // Release the server before reporting done, so a
-                    // drain that saw zero handlers can unwrap the Arc.
-                    drop(server);
-                    tracker.finished();
-                });
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) => return Err(e),
+    poller.add(listener.as_raw_fd(), 0, Interest::READABLE)?;
+    let mut events = Vec::new();
+    let result = 'outer: loop {
+        if stop.load(Ordering::SeqCst) {
+            break Ok(());
         }
-    }
-    Ok(())
+        // Readiness-based accept: park in the poller until a connection
+        // arrives (or shutdown notifies) instead of the old 2 ms
+        // sleep-poll, which burned idle CPU and jittered accept latency.
+        if let Err(e) = poller.wait(&mut events, Some(ACCEPT_TICK)) {
+            break Err(e);
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if tracker.active() >= cfg.max_connections {
+                        reject_saturated(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nonblocking(false);
+                    let stop = Arc::clone(&stop);
+                    let guard = tracker.guard(Arc::clone(&server));
+                    let default_cost = cfg.default_cost;
+                    let idle_timeout = cfg.idle_timeout;
+                    thread::spawn(move || {
+                        handle_connection(
+                            stream,
+                            guard.server(),
+                            default_cost,
+                            idle_timeout,
+                            &stop,
+                        );
+                        drop(guard);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break 'outer Err(e),
+            }
+        }
+    };
+    let _ = poller.delete(listener.as_raw_fd());
+    result
 }
 
-/// Accept loop: serve connections until `stop` flips. One thread per
-/// connection (requests block on the PSD queue anyway).
+/// Accept loop: serve connections until `stop` flips, one thread per
+/// connection with the default [`FrontendConfig`] limits.
 ///
 /// This is the bare loop; [`HttpFrontend`] wraps it with the graceful
 /// drain the `psd_httpd` binary and the load-generation harness use.
@@ -419,42 +405,81 @@ pub fn serve(
     default_cost: f64,
     stop: Arc<AtomicBool>,
 ) -> io::Result<()> {
-    accept_loop(listener, server, default_cost, stop, Arc::new(ConnTracker::default()))
+    let cfg = FrontendConfig { default_cost, ..FrontendConfig::default() };
+    let poller = Arc::new(Poller::new()?);
+    accept_loop(listener, server, cfg, stop, Arc::new(ConnTracker::default()), poller)
+}
+
+enum Engine {
+    Threads {
+        stop: Arc<AtomicBool>,
+        tracker: Arc<ConnTracker>,
+        poller: Arc<Poller>,
+        accept: Option<JoinHandle<io::Result<()>>>,
+    },
+    Reactor(reactor::Handle),
 }
 
 /// A running HTTP front-end with a graceful drain: `shutdown` stops
 /// accepting, closes idle keep-alive connections, waits for in-flight
-/// handlers, and joins the accept thread.
+/// requests, and joins the engine's threads. Construct with
+/// [`HttpFrontend::start`] (threaded engine, defaults) or
+/// [`HttpFrontend::start_with`] (explicit [`FrontendConfig`], either
+/// engine).
 pub struct HttpFrontend {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    tracker: Arc<ConnTracker>,
-    accept: Option<JoinHandle<io::Result<()>>>,
+    engine: Engine,
 }
 
 impl HttpFrontend {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// accepting connections for `server`.
+    /// the **threaded** engine with default limits — the legacy
+    /// constructor most tests use.
     pub fn start(addr: &str, server: Arc<PsdServer>, default_cost: f64) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        Self::start_on(listener, server, default_cost)
+        Self::start_with(addr, server, FrontendConfig { default_cost, ..FrontendConfig::default() })
     }
 
-    /// Start accepting on an already-bound listener.
+    /// Start the threaded engine on an already-bound listener.
     pub fn start_on(
         listener: TcpListener,
         server: Arc<PsdServer>,
         default_cost: f64,
     ) -> io::Result<Self> {
+        Self::start_on_with(
+            listener,
+            server,
+            FrontendConfig { default_cost, ..FrontendConfig::default() },
+        )
+    }
+
+    /// Bind `addr` and start the engine selected by `cfg`.
+    pub fn start_with(addr: &str, server: Arc<PsdServer>, cfg: FrontendConfig) -> io::Result<Self> {
+        Self::start_on_with(TcpListener::bind(addr)?, server, cfg)
+    }
+
+    /// Start the engine selected by `cfg` on an already-bound listener.
+    pub fn start_on_with(
+        listener: TcpListener,
+        server: Arc<PsdServer>,
+        cfg: FrontendConfig,
+    ) -> io::Result<Self> {
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let tracker = Arc::new(ConnTracker::default());
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let tracker = Arc::clone(&tracker);
-            thread::spawn(move || accept_loop(listener, server, default_cost, stop, tracker))
+        let engine = match cfg.engine {
+            EngineKind::Threads => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let tracker = Arc::new(ConnTracker::default());
+                let poller = Arc::new(Poller::new()?);
+                let accept = {
+                    let stop = Arc::clone(&stop);
+                    let tracker = Arc::clone(&tracker);
+                    let poller = Arc::clone(&poller);
+                    thread::spawn(move || accept_loop(listener, server, cfg, stop, tracker, poller))
+                };
+                Engine::Threads { stop, tracker, poller, accept: Some(accept) }
+            }
+            EngineKind::Reactor => Engine::Reactor(reactor::Handle::start(listener, server, cfg)?),
         };
-        Ok(Self { addr, stop, tracker, accept: Some(accept) })
+        Ok(Self { addr, engine })
     }
 
     /// The bound socket address.
@@ -462,262 +487,78 @@ impl HttpFrontend {
         self.addr
     }
 
+    /// Which engine is serving.
+    pub fn engine(&self) -> EngineKind {
+        match self.engine {
+            Engine::Threads { .. } => EngineKind::Threads,
+            Engine::Reactor(_) => EngineKind::Reactor,
+        }
+    }
+
     /// Graceful drain: stop accepting, let in-flight requests finish,
-    /// close idle keep-alive connections, join the accept thread.
-    /// Returns the number of handler threads that failed to finish
-    /// within `timeout` (0 on a clean drain) — they keep the
-    /// `PsdServer` `Arc` alive if non-zero.
+    /// close idle keep-alive connections, join the engine's threads.
+    /// Returns the number of connections (reactor) or handler threads
+    /// (threaded) that failed to finish within `timeout` — 0 on a clean
+    /// drain; non-zero leftovers keep the `PsdServer` `Arc` alive.
     pub fn shutdown(mut self, timeout: Duration) -> io::Result<usize> {
-        self.stop.store(true, Ordering::SeqCst);
-        let accept_result = match self.accept.take() {
-            Some(h) => {
-                h.join().map_err(|_| io::Error::other("accept thread panicked")).and_then(|r| r)
+        match &mut self.engine {
+            Engine::Threads { stop, tracker, poller, accept } => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = poller.notify();
+                let accept_result = match accept.take() {
+                    Some(h) => h
+                        .join()
+                        .map_err(|_| io::Error::other("accept thread panicked"))
+                        .and_then(|r| r),
+                    None => Ok(()),
+                };
+                // Even when the accept loop died early, wait for the
+                // handlers it already spawned before reporting —
+                // otherwise callers tear the server down under live
+                // connections.
+                let leftover = tracker.wait_idle(timeout);
+                accept_result?;
+                Ok(leftover)
             }
-            None => Ok(()),
-        };
-        // Even when the accept loop died early, wait for the handlers
-        // it already spawned before reporting — otherwise callers tear
-        // the server down under live connections.
-        let leftover = self.tracker.wait_idle(timeout);
-        accept_result?;
-        Ok(leftover)
+            Engine::Reactor(handle) => handle.shutdown(timeout),
+        }
     }
 }
 
 impl Drop for HttpFrontend {
     /// Dropping without [`HttpFrontend::shutdown`] (e.g. on an error
-    /// path) still stops the accept loop and reclaims its thread and
-    /// port; connection handlers wind down on their next idle poll.
+    /// path) still stops the engine and reclaims its accept/event
+    /// thread and port; threaded connection handlers wind down on their
+    /// next idle poll.
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        if let Engine::Threads { stop, poller, accept, .. } = &mut self.engine {
+            stop.store(true, Ordering::SeqCst);
+            let _ = poller.notify();
+            if let Some(h) = accept.take() {
+                let _ = h.join();
+            }
         }
+        // The reactor handle has its own Drop with the same contract.
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
+    use crate::server::{PsdServer, ServerConfig};
+    use std::io::Read;
 
-    #[test]
-    fn parses_request_line_and_query() {
-        let raw = "GET /class1/page?cost=2.5&x=1 HTTP/1.0\r\nHost: a\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert_eq!(r.method, "GET");
-        assert_eq!(r.path, "/class1/page");
-        assert_eq!(r.cost, Some(2.5));
-        assert_eq!(r.x_class, None);
-        assert!(!r.http11);
-        assert!(!r.keep_alive());
-    }
-
-    #[test]
-    fn parses_x_class_header() {
-        let raw = "POST / HTTP/1.0\r\nX-Class: 2\r\nContent-Length: 0\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert_eq!(r.x_class.as_deref(), Some("2"));
-        assert_eq!(r.cost, None);
-    }
-
-    #[test]
-    fn case_insensitive_header() {
-        let raw = "GET / HTTP/1.0\r\nx-CLASS: 1\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert_eq!(r.x_class.as_deref(), Some("1"));
-    }
-
-    #[test]
-    fn rejects_empty() {
-        let e = parse_request(&mut Cursor::new("")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn bad_cost_ignored() {
-        let raw = "GET /?cost=abc HTTP/1.0\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert_eq!(r.cost, None);
-    }
-
-    #[test]
-    fn http11_defaults_to_keep_alive() {
-        let r = parse_request(&mut Cursor::new("GET / HTTP/1.1\r\n\r\n")).unwrap();
-        assert!(r.http11);
-        assert!(r.keep_alive());
-        // …unless the client asks to close.
-        let r =
-            parse_request(&mut Cursor::new("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")).unwrap();
-        assert!(!r.keep_alive());
-    }
-
-    #[test]
-    fn http10_keep_alive_opt_in() {
-        let raw = "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert!(!r.http11);
-        assert!(r.keep_alive());
-    }
-
-    #[test]
-    fn missing_target_rejected() {
-        let e = parse_request(&mut Cursor::new("GET\r\n\r\n")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn bad_version_token_rejected() {
-        let e = parse_request(&mut Cursor::new("GET / JUNK/9\r\n\r\n")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn oversized_request_line_rejected() {
-        let raw = format!("GET /{} HTTP/1.0\r\n\r\n", "a".repeat(MAX_HEAD_LINE_BYTES));
-        let e = parse_request(&mut Cursor::new(raw)).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn oversized_header_line_rejected() {
-        let raw = format!("GET / HTTP/1.0\r\nX-Junk: {}\r\n\r\n", "b".repeat(MAX_HEAD_LINE_BYTES));
-        let e = parse_request(&mut Cursor::new(raw)).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn too_many_headers_rejected() {
-        let mut raw = String::from("GET / HTTP/1.0\r\n");
-        for i in 0..(MAX_HEADERS + 1) {
-            raw.push_str(&format!("X-H{i}: v\r\n"));
-        }
-        raw.push_str("\r\n");
-        let e = parse_request(&mut Cursor::new(raw)).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn non_utf8_head_rejected() {
-        let raw = b"GET /\xff\xfe HTTP/1.0\r\n\r\n".to_vec();
-        let e = parse_request(&mut Cursor::new(raw)).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn truncated_line_is_eof_error() {
-        let e = parse_request(&mut Cursor::new("GET / HTTP/1.0")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    /// A scripted reader that interleaves data chunks with one-shot
-    /// `WouldBlock` stalls, mimicking read timeouts on a live socket.
-    struct Script {
-        steps: std::collections::VecDeque<Result<&'static [u8], ()>>,
-        cur: &'static [u8],
-    }
-
-    impl Script {
-        fn new(steps: Vec<Result<&'static [u8], ()>>) -> Self {
-            Self { steps: steps.into(), cur: &[] }
-        }
-    }
-
-    impl io::Read for Script {
-        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
-            let chunk = self.fill_buf()?;
-            let n = chunk.len().min(out.len());
-            out[..n].copy_from_slice(&chunk[..n]);
-            self.consume(n);
-            Ok(n)
-        }
-    }
-
-    impl BufRead for Script {
-        fn fill_buf(&mut self) -> io::Result<&[u8]> {
-            if self.cur.is_empty() {
-                match self.steps.pop_front() {
-                    Some(Ok(data)) => self.cur = data,
-                    Some(Err(())) => {
-                        return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
-                    }
-                    None => return Ok(&[]),
-                }
-            }
-            Ok(self.cur)
-        }
-
-        fn consume(&mut self, n: usize) {
-            self.cur = &self.cur[n..];
-        }
-    }
-
-    #[test]
-    fn idle_timeout_before_request_line_escapes() {
-        // No bytes consumed yet: the caller may safely retry.
-        let mut r = Script::new(vec![Err(()), Ok(b"GET / HTTP/1.0\r\n\r\n")]);
-        let e = parse_request(&mut r).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::WouldBlock);
-        // And the retry parses the request whole.
-        let req = parse_request(&mut r).unwrap();
-        assert_eq!(req.path, "/");
-    }
-
-    #[test]
-    fn timeout_between_head_lines_does_not_desync() {
-        // Stalls after the request line and between headers must be
-        // absorbed inside parse_request — otherwise a retry would
-        // misread the remaining headers as a new request line.
-        let mut r = Script::new(vec![
-            Ok(b"GET /class1/x HTTP/1.1\r\n"),
-            Err(()),
-            Ok(b"X-Class: 1\r\n"),
-            Err(()),
-            Ok(b"\r\n"),
-        ]);
-        let req = parse_request(&mut r).unwrap();
-        assert_eq!(req.path, "/class1/x");
-        assert_eq!(req.x_class.as_deref(), Some("1"));
-        assert!(req.keep_alive());
-    }
-
-    #[test]
-    fn timeout_mid_line_is_retried() {
-        let mut r = Script::new(vec![Ok(b"GET /a"), Err(()), Ok(b"b HTTP/1.0\r\n\r\n")]);
-        let req = parse_request(&mut r).unwrap();
-        assert_eq!(req.path, "/ab", "split request line reassembles across the stall");
-    }
-
-    #[test]
-    fn content_length_and_transfer_encoding_captured() {
-        let raw = "POST / HTTP/1.1\r\nContent-Length: 42\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert_eq!(r.content_length, 42);
-        assert!(!r.chunked);
-        let raw = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
-        let r = parse_request(&mut Cursor::new(raw)).unwrap();
-        assert!(r.chunked);
-        let e = parse_request(&mut Cursor::new("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n"))
-            .unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    fn quick_server() -> Arc<PsdServer> {
+        Arc::new(PsdServer::start(ServerConfig {
+            deltas: vec![1.0],
+            work_unit: Duration::from_micros(100),
+            ..ServerConfig::default()
+        }))
     }
 
     #[test]
     fn keep_alive_survives_request_bodies() {
-        use crate::server::{PsdServer, SchedulerKind, ServerConfig, Workload};
-        use std::io::Read;
-        use std::sync::Arc;
-
-        let server = Arc::new(PsdServer::start(ServerConfig {
-            deltas: vec![1.0],
-            mean_cost: 1.0,
-            scheduler: SchedulerKind::Wfq,
-            workers: 1,
-            work_unit: Duration::from_micros(100),
-            workload: Workload::Sleep,
-            control_window: Duration::from_millis(50),
-            estimator_history: 3,
-        }));
+        let server = quick_server();
         let fe = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0).expect("bind");
         let mut s = TcpStream::connect(fe.addr()).expect("connect");
         // A request with a body, then a second request on the same
@@ -734,20 +575,87 @@ mod tests {
     }
 
     #[test]
-    fn dropping_frontend_stops_the_accept_loop() {
-        use crate::server::{PsdServer, SchedulerKind, ServerConfig, Workload};
-        use std::sync::Arc;
+    fn malformed_head_answers_400() {
+        let server = quick_server();
+        let fe = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0).expect("bind");
+        let mut s = TcpStream::connect(fe.addr()).expect("connect");
+        s.write_all(b"GET\r\n\r\n").unwrap();
+        let mut all = String::new();
+        s.read_to_string(&mut all).unwrap();
+        assert!(all.starts_with("HTTP/1.0 400"), "got:\n{all}");
+        assert_eq!(fe.shutdown(Duration::from_secs(5)).expect("drain"), 0);
+        Arc::try_unwrap(server).ok().expect("handlers drained").shutdown();
+    }
 
-        let server = Arc::new(PsdServer::start(ServerConfig {
-            deltas: vec![1.0],
-            mean_cost: 1.0,
-            scheduler: SchedulerKind::Wfq,
-            workers: 1,
-            work_unit: Duration::from_micros(100),
-            workload: Workload::Sleep,
-            control_window: Duration::from_millis(50),
-            estimator_history: 3,
-        }));
+    #[test]
+    fn saturated_threaded_engine_answers_503() {
+        let server = quick_server();
+        let fe = HttpFrontend::start_with(
+            "127.0.0.1:0",
+            Arc::clone(&server),
+            FrontendConfig { max_connections: 2, ..FrontendConfig::default() },
+        )
+        .expect("bind");
+        // Two connections occupy the cap (handlers spawn at accept)…
+        let mut held: Vec<TcpStream> = (0..2)
+            .map(|_| {
+                let mut s = TcpStream::connect(fe.addr()).expect("connect");
+                s.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+                let mut buf = [0u8; 256];
+                let n = s.read(&mut buf).unwrap();
+                assert!(std::str::from_utf8(&buf[..n]).unwrap().contains("200 OK"));
+                s
+            })
+            .collect();
+        // …so the third is rejected outright with 503 + close.
+        let mut s3 = TcpStream::connect(fe.addr()).expect("connect");
+        let mut all = String::new();
+        s3.read_to_string(&mut all).unwrap();
+        assert!(all.starts_with("HTTP/1.1 503"), "over-cap accept must 503, got:\n{all}");
+        assert!(all.contains("Connection: close"), "got:\n{all}");
+        // Closing one held connection frees a slot for new arrivals.
+        held.pop();
+        std::thread::sleep(Duration::from_millis(300));
+        let mut s4 = TcpStream::connect(fe.addr()).expect("connect");
+        s4.write_all(b"GET /b HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut all = String::new();
+        s4.read_to_string(&mut all).unwrap();
+        assert!(all.contains("200 OK"), "freed slot must serve again, got:\n{all}");
+        drop(held);
+        assert_eq!(fe.shutdown(Duration::from_secs(5)).expect("drain"), 0);
+        Arc::try_unwrap(server).ok().expect("handlers drained").shutdown();
+    }
+
+    #[test]
+    fn threaded_idle_timeout_closes_quiet_keep_alives() {
+        let server = quick_server();
+        let fe = HttpFrontend::start_with(
+            "127.0.0.1:0",
+            Arc::clone(&server),
+            FrontendConfig {
+                idle_timeout: Duration::from_millis(250),
+                ..FrontendConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut s = TcpStream::connect(fe.addr()).expect("connect");
+        s.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 512];
+        let n = s.read(&mut buf).unwrap();
+        assert!(std::str::from_utf8(&buf[..n]).unwrap().contains("200 OK"));
+        // Now go quiet: the server must close us, not hold the handler
+        // thread forever.
+        let t = Instant::now();
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "idle connection must be closed by the server");
+        assert!(t.elapsed() >= Duration::from_millis(150), "not closed *immediately*");
+        assert_eq!(fe.shutdown(Duration::from_secs(5)).expect("drain"), 0);
+        Arc::try_unwrap(server).ok().expect("handlers drained").shutdown();
+    }
+
+    #[test]
+    fn dropping_frontend_stops_the_accept_loop() {
+        let server = quick_server();
         let fe = HttpFrontend::start("127.0.0.1:0", Arc::clone(&server), 1.0).expect("bind");
         let addr = fe.addr();
         drop(fe); // no shutdown(): Drop must still stop the accept thread
@@ -758,7 +666,6 @@ mod tests {
             let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
             let _ = s.write_all(b"GET / HTTP/1.0\r\n\r\n");
             let mut buf = [0u8; 16];
-            use std::io::Read;
             assert!(
                 !matches!(s.read(&mut buf), Ok(n) if n > 0),
                 "accept loop must be dead after drop"

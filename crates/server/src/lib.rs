@@ -2,24 +2,34 @@
 //!
 //! The paper's *task server* is "an abstract concept … a child process
 //! in a multi-process server, or a thread in a multi-thread server"
-//! (§1). This crate realizes that abstraction: a real threaded request
-//! server whose dispatch order is driven by a proportional-share
-//! scheduler from [`psd_propshare`], with weights produced online by
-//! the PSD rate allocator from [`psd_core`].
+//! (§1). This crate realizes that abstraction: a real request server
+//! whose dispatch order is driven by a proportional-share scheduler
+//! from [`psd_propshare`], with weights produced online by the PSD rate
+//! allocator from [`psd_core`].
 //!
-//! Architecture (mirrors paper Fig. 1, but with actual threads):
+//! Architecture (mirrors paper Fig. 1, with two selectable front-end
+//! engines feeding the same dispatch core):
 //!
 //! ```text
-//!  clients / TCP front-end           PsdServer
-//!  ───────────────────────  submit  ┌───────────────────────────────┐
-//!  driver::LoadDriver  ──────────▶  │ classify → per-class backlog  │
-//!  httplite::serve     ──────────▶  │   (ProportionalScheduler)     │
-//!                                   │        ▲ weights              │
-//!                                   │ monitor: window arrival rates │
-//!                                   │   → psd_core::psd_rates       │
-//!                                   │ worker pool: execute request, │
-//!                                   │   record delay / slowdown     │
-//!                                   └───────────────────────────────┘
+//!  clients / TCP                     front-end engines (FrontendConfig::engine)
+//!  ─────────────                    ┌──────────────────────────────────────────┐
+//!  driver::LoadDriver ──────┐       │ threads: 1 blocking thread / connection  │
+//!                           │       │ reactor: epoll loop, conns multiplexed,  │
+//!  psd-loadgen / curl ────────────▶ │   sans-io codec, WriteBuf resumption,    │
+//!                           │       │   eventfd completion wakeups             │
+//!                           │       └──────────────┬───────────────────────────┘
+//!                           │  submit / submit_async │ classify → class, cost
+//!                           ▼                        ▼
+//!                    ┌───────────────────────────────────────────────┐
+//!                    │ PsdServer                                     │
+//!                    │  per-class arrival shards → dispatch core     │
+//!                    │   (ProportionalScheduler | rate partition)    │
+//!                    │        ▲ weights                              │
+//!                    │ monitor: window arrival rates                 │
+//!                    │   → psd_core::psd_rates                       │
+//!                    │ worker pool: execute request, record          │
+//!                    │   delay / slowdown, CompletionNotify          │
+//!                    └───────────────────────────────────────────────┘
 //! ```
 //!
 //! Requests carry a *cost* (work units); workers execute them either by
@@ -27,35 +37,35 @@
 //! configurable work-unit duration so tests stay fast.
 //!
 //! ```no_run
-//! use psd_server::{PsdServer, ServerConfig, SchedulerKind, Workload};
-//! use std::time::Duration;
+//! use psd_server::{PsdServer, ServerConfig, SchedulerKind};
 //!
-//! let cfg = ServerConfig {
-//!     deltas: vec![1.0, 2.0],
-//!     mean_cost: 1.0,
-//!     scheduler: SchedulerKind::Wfq,
-//!     workers: 1,
-//!     work_unit: Duration::from_micros(200),
-//!     workload: Workload::Sleep,
-//!     control_window: Duration::from_millis(50),
-//!     estimator_history: 5,
-//! };
+//! let cfg = ServerConfig { deltas: vec![1.0, 2.0], ..ServerConfig::default() };
 //! let server = PsdServer::start(cfg);
 //! server.submit(0, 1.0);
 //! let stats = server.shutdown();
 //! ```
+//!
+//! The blocking front-end engine, the epoll reactor and their shared
+//! HTTP codec live in [`httplite`], [`reactor`] and [`codec`]; the
+//! `psd_httpd` binary selects between engines with `--engine
+//! {threads,reactor}`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod classify;
+pub mod codec;
 pub mod driver;
 pub mod httplite;
 mod metrics;
 mod queues;
+pub mod reactor;
 mod server;
 
 pub use classify::{classify_path, Classification};
-pub use httplite::{HttpFrontend, HttpRequest};
+pub use codec::{HttpRequest, RequestCodec, Response, WriteBuf};
+pub use httplite::{EngineKind, FrontendConfig, HttpFrontend};
 pub use metrics::{ClassStats, ServerStats};
-pub use server::{Completion, PsdServer, SchedulerKind, ServerConfig, Workload};
+pub use server::{
+    Completion, PsdServer, SchedulerKind, ServerConfig, Workload, DEFAULT_CONTROL_WINDOW,
+};

@@ -1,5 +1,5 @@
 //! The shared dispatch core, connecting submitters (clients) to the
-//! worker pool behind a mutex + condvar. Two dispatch disciplines:
+//! worker pool. Two dispatch disciplines:
 //!
 //! * **Shared pool** — a work-conserving proportional-share scheduler
 //!   ([`psd_propshare`]) orders one global dispatch queue; workers
@@ -12,8 +12,21 @@
 //!   Eq. 17 was derived for. Non-work-conserving by design: spare
 //!   capacity of an idle class is *not* donated, which is exactly what
 //!   keeps the slowdown ratios pinned to the δ's.
+//!
+//! # Sharded arrivals
+//!
+//! Submitters do not touch the dispatch lock. Each class owns a staging
+//! shard (its own tiny mutex + FIFO); [`DispatchQueue::push`] appends
+//! to the request's class shard and only rings the dispatch condvar
+//! when a worker is actually asleep. Workers sweep every shard into the
+//! scheduler core under the single dispatch lock right before picking
+//! the next request, so discipline order is unchanged while the
+//! submit path — the one the reactor thread and hundreds of connection
+//! handlers hammer concurrently — never serializes on the dispatcher.
 
 use std::collections::{HashMap, VecDeque};
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
@@ -32,8 +45,44 @@ const MIN_SHARE: f64 = 1e-6;
 /// the lull.
 const MAX_STRETCH: f64 = 100.0;
 
+/// How a completed execution is reported back to the submitter.
+pub enum CompletionNotify {
+    /// Fire-and-forget: nobody is waiting.
+    None,
+    /// A blocked synchronous submitter ([`crate::PsdServer::submit_sync`]).
+    Channel(Sender<Completion>),
+    /// An event-driven submitter: the worker invokes the callback on
+    /// its own thread — the reactor uses this to post the completion
+    /// into its mailbox and ring its poller, instead of parking a whole
+    /// connection thread per in-flight request.
+    Callback(Box<dyn FnOnce(Completion) + Send>),
+}
+
+impl CompletionNotify {
+    /// Deliver `done` to whoever is waiting (no-op for `None`).
+    pub fn deliver(self, done: Completion) {
+        match self {
+            CompletionNotify::None => {}
+            CompletionNotify::Channel(tx) => {
+                let _ = tx.send(done);
+            }
+            CompletionNotify::Callback(f) => f(done),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompletionNotify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CompletionNotify::None => "None",
+            CompletionNotify::Channel(_) => "Channel",
+            CompletionNotify::Callback(_) => "Callback",
+        })
+    }
+}
+
 /// A request queued for execution.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueuedRequest {
     /// Class index.
     pub class: usize,
@@ -41,8 +90,8 @@ pub struct QueuedRequest {
     pub cost: f64,
     /// Enqueue instant (queueing delay is measured from here).
     pub enqueued: Instant,
-    /// Optional completion notification for synchronous submitters.
-    pub notify: Option<Sender<Completion>>,
+    /// Completion notification for the submitter.
+    pub notify: CompletionNotify,
 }
 
 /// A dispatched request plus its execution-time multiplier.
@@ -73,31 +122,44 @@ enum Core {
     },
 }
 
-struct Inner {
-    core: Core,
-    closed: bool,
+/// One class's staging FIFO — the only lock a submitter takes.
+#[derive(Default)]
+struct Shard {
+    staged: Mutex<VecDeque<QueuedRequest>>,
 }
 
 /// MPMC dispatch queue with proportional-share or rate-partitioned
-/// ordering.
+/// ordering and per-class sharded arrival staging.
 pub struct DispatchQueue {
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
+    dispatch: Mutex<Core>,
     ready: Condvar,
-    /// Immutable mode flag, readable without the lock — lets the
-    /// per-request `complete` call skip the mutex entirely in
-    /// shared-pool mode.
+    /// Requests pushed but not yet handed to a worker (staged or in the
+    /// core). `closed && queued == 0` is the drained condition.
+    queued: AtomicUsize,
+    /// Workers parked on `ready` — lets `push` skip the dispatch lock
+    /// entirely when everyone is busy executing.
+    sleepers: AtomicUsize,
+    /// Bumped on every push / completion / close, so a worker that
+    /// raced a wakeup can detect it before parking.
+    stamp: AtomicUsize,
+    closed: AtomicBool,
+    /// Immutable mode flag, readable without any lock.
     paced: bool,
 }
 
 impl DispatchQueue {
     /// Work-conserving shared pool over a proportional scheduler.
     pub fn new(scheduler: Box<dyn ProportionalScheduler + Send>) -> Self {
+        let n = scheduler.num_classes();
         Self {
-            inner: Mutex::new(Inner {
-                core: Core::Shared { scheduler, payloads: HashMap::new(), next_id: 0 },
-                closed: false,
-            }),
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            dispatch: Mutex::new(Core::Shared { scheduler, payloads: HashMap::new(), next_id: 0 }),
             ready: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            stamp: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
             paced: false,
         }
     }
@@ -107,105 +169,150 @@ impl DispatchQueue {
     pub fn new_paced(n: usize) -> Self {
         assert!(n >= 1, "at least one class");
         Self {
-            inner: Mutex::new(Inner {
-                core: Core::Paced {
-                    fifos: (0..n).map(|_| VecDeque::new()).collect(),
-                    shares: vec![1.0 / n as f64; n],
-                    in_service: vec![false; n],
-                },
-                closed: false,
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            dispatch: Mutex::new(Core::Paced {
+                fifos: (0..n).map(|_| VecDeque::new()).collect(),
+                shares: vec![1.0 / n as f64; n],
+                in_service: vec![false; n],
             }),
             ready: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            stamp: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
             paced: true,
         }
     }
 
-    /// Enqueue a request; wakes one worker. Returns `false` if the
-    /// queue is already closed.
+    /// Enqueue a request onto its class shard; wakes one worker if any
+    /// is parked. Returns `false` if the queue is already closed.
     pub fn push(&self, req: QueuedRequest) -> bool {
-        let mut g = self.inner.lock();
-        if g.closed {
-            return false;
-        }
-        match &mut g.core {
-            Core::Shared { scheduler, payloads, next_id } => {
-                let id = *next_id;
-                *next_id += 1;
-                let class = req.class;
-                let cost = req.cost;
-                payloads.insert(id, req);
-                scheduler.enqueue(class, WorkItem { id, cost });
+        let class = req.class.min(self.shards.len() - 1);
+        {
+            // The closed check lives under the shard lock: `close`
+            // flips the flag and then passes through every shard lock,
+            // so a push that saw `closed == false` here has its item
+            // visible to the final drain.
+            let mut staged = self.shards[class].staged.lock();
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
             }
-            Core::Paced { fifos, .. } => fifos[req.class].push_back(req),
+            staged.push_back(req);
         }
-        drop(g);
-        self.ready.notify_one();
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.stamp.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking (and dropping) the dispatch lock orders this
+            // notify after any in-progress park decision, closing the
+            // lost-wakeup window the sharded fast path opens.
+            drop(self.dispatch.lock());
+            self.ready.notify_one();
+        }
         true
+    }
+
+    /// Sweep every shard's staged arrivals into the discipline core.
+    /// Caller holds the dispatch lock.
+    fn collect(&self, core: &mut Core) {
+        for (class, shard) in self.shards.iter().enumerate() {
+            let mut staged = {
+                let mut g = shard.staged.lock();
+                if g.is_empty() {
+                    continue;
+                }
+                mem::take(&mut *g)
+            };
+            match core {
+                Core::Shared { scheduler, payloads, next_id } => {
+                    for req in staged.drain(..) {
+                        let id = *next_id;
+                        *next_id += 1;
+                        let cost = req.cost;
+                        payloads.insert(id, req);
+                        scheduler.enqueue(class, WorkItem { id, cost });
+                    }
+                }
+                Core::Paced { fifos, .. } => fifos[class].append(&mut staged),
+            }
+        }
+    }
+
+    /// Try to dispatch one request in discipline order. Caller holds
+    /// the dispatch lock.
+    fn try_dispatch(&self, core: &mut Core) -> Option<Dispatched> {
+        match core {
+            Core::Shared { scheduler, payloads, .. } => {
+                let (_, item) = scheduler.dequeue()?;
+                let req = payloads.remove(&item.id).expect("payload tracked");
+                Some(Dispatched { req, stretch: 1.0 })
+            }
+            Core::Paced { fifos, shares, in_service } => {
+                // Among idle classes with backlog, dispatch the
+                // longest-waiting head (each class is serial, so the
+                // pick order barely matters — it only decides which
+                // idle virtual server starts first).
+                let eligible = (0..fifos.len())
+                    .filter(|&c| !in_service[c] && !fifos[c].is_empty())
+                    .min_by(|&a, &b| {
+                        let ta = fifos[a].front().expect("non-empty").enqueued;
+                        let tb = fifos[b].front().expect("non-empty").enqueued;
+                        ta.cmp(&tb)
+                    })?;
+                in_service[eligible] = true;
+                let req = fifos[eligible].pop_front().expect("non-empty");
+                let stretch = (1.0 / shares[eligible].max(MIN_SHARE)).min(MAX_STRETCH);
+                Some(Dispatched { req, stretch })
+            }
+        }
     }
 
     /// Blocking pop in discipline order; `None` once closed *and* no
     /// queued work remains (requests already in service keep running in
     /// their workers).
     pub fn pop(&self) -> Option<Dispatched> {
-        let mut g = self.inner.lock();
+        let mut g = self.dispatch.lock();
         loop {
-            match &mut g.core {
-                Core::Shared { scheduler, payloads, .. } => {
-                    if let Some((_, item)) = scheduler.dequeue() {
-                        let req = payloads.remove(&item.id).expect("payload tracked");
-                        return Some(Dispatched { req, stretch: 1.0 });
-                    }
-                }
-                Core::Paced { fifos, shares, in_service } => {
-                    // Among idle classes with backlog, dispatch the
-                    // longest-waiting head (each class is serial, so
-                    // the pick order barely matters — it only decides
-                    // which idle virtual server starts first).
-                    let eligible = (0..fifos.len())
-                        .filter(|&c| !in_service[c] && !fifos[c].is_empty())
-                        .min_by(|&a, &b| {
-                            let ta = fifos[a].front().expect("non-empty").enqueued;
-                            let tb = fifos[b].front().expect("non-empty").enqueued;
-                            ta.cmp(&tb)
-                        });
-                    if let Some(c) = eligible {
-                        in_service[c] = true;
-                        let req = fifos[c].pop_front().expect("non-empty");
-                        let stretch = (1.0 / shares[c].max(MIN_SHARE)).min(MAX_STRETCH);
-                        return Some(Dispatched { req, stretch });
-                    }
-                }
+            self.collect(&mut g);
+            if let Some(d) = self.try_dispatch(&mut g) {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(d);
             }
-            let drained = match &g.core {
-                Core::Shared { .. } => true, // dequeue above found nothing
-                Core::Paced { fifos, .. } => fifos.iter().all(VecDeque::is_empty),
-            };
-            if g.closed && drained {
+            if self.closed.load(Ordering::SeqCst) && self.queued.load(Ordering::SeqCst) == 0 {
                 return None;
             }
-            self.ready.wait(&mut g);
+            // Park — unless a push / completion landed after the sweep
+            // above, in which case retry instead of risking a missed
+            // wakeup (the push fast path only notifies when it already
+            // saw us in `sleepers`).
+            let before = self.stamp.load(Ordering::SeqCst);
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.stamp.load(Ordering::SeqCst) == before {
+                self.ready.wait(&mut g);
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     /// Mark class `class`'s serial virtual server idle again
-    /// (rate-partition mode; a lock-free no-op for the shared pool).
-    /// Workers call this when an execution finishes.
+    /// (rate-partition mode; a no-op for the shared pool). Workers call
+    /// this when an execution finishes.
     pub fn complete(&self, class: usize) {
         if !self.paced {
             return;
         }
-        let mut g = self.inner.lock();
-        if let Core::Paced { in_service, .. } = &mut g.core {
+        let mut g = self.dispatch.lock();
+        if let Core::Paced { in_service, .. } = &mut *g {
             in_service[class] = false;
-            drop(g);
-            self.ready.notify_all();
         }
+        drop(g);
+        self.stamp.fetch_add(1, Ordering::SeqCst);
+        self.ready.notify_all();
     }
 
     /// Update the per-class rates (class `i` gets `weights[i]`).
     pub fn set_weights(&self, weights: &[f64]) {
-        let mut g = self.inner.lock();
-        match &mut g.core {
+        let mut g = self.dispatch.lock();
+        match &mut *g {
             Core::Shared { scheduler, .. } => {
                 for (class, &w) in weights.iter().enumerate() {
                     // Proportional schedulers require strictly positive
@@ -224,17 +331,27 @@ impl DispatchQueue {
 
     /// Close the queue: pending requests still drain, new pushes fail.
     pub fn close(&self) {
-        self.inner.lock().closed = true;
+        self.closed.store(true, Ordering::SeqCst);
+        // Pass through every shard lock: any push that saw the flag
+        // unset has finished inserting by the time we get its lock, so
+        // its request is visible to the workers' final sweeps.
+        for shard in &self.shards {
+            drop(shard.staged.lock());
+        }
+        drop(self.dispatch.lock());
+        self.stamp.fetch_add(1, Ordering::SeqCst);
         self.ready.notify_all();
     }
 
-    /// Current backlog of `class`.
+    /// Current backlog of `class` (staged + scheduled).
     pub fn backlog(&self, class: usize) -> usize {
-        let g = self.inner.lock();
-        match &g.core {
-            Core::Shared { scheduler, .. } => scheduler.backlog(class),
-            Core::Paced { fifos, .. } => fifos[class].len(),
-        }
+        let staged = self.shards[class].staged.lock().len();
+        let g = self.dispatch.lock();
+        staged
+            + match &*g {
+                Core::Shared { scheduler, .. } => scheduler.backlog(class),
+                Core::Paced { fifos, .. } => fifos[class].len(),
+            }
     }
 }
 
@@ -250,7 +367,7 @@ mod tests {
     }
 
     fn req(class: usize, cost: f64) -> QueuedRequest {
-        QueuedRequest { class, cost, enqueued: Instant::now(), notify: None }
+        QueuedRequest { class, cost, enqueued: Instant::now(), notify: CompletionNotify::None }
     }
 
     #[test]
@@ -357,5 +474,59 @@ mod tests {
         assert!((d.stretch - 4.0).abs() < 1e-9, "even split over 4 classes");
         q.complete(2);
         assert_eq!(q.backlog(2), 0);
+    }
+
+    #[test]
+    fn out_of_range_class_lands_in_last_shard() {
+        let q = queue();
+        assert!(q.push(req(99, 1.0)));
+        assert_eq!(q.backlog(1), 1, "clamped to the last class shard");
+    }
+
+    /// The sharded fast path must not lose requests or wakeups under
+    /// concurrent pushers and poppers.
+    #[test]
+    fn concurrent_push_pop_conserves_requests() {
+        const PUSHERS: usize = 4;
+        const PER_PUSHER: usize = 500;
+        let q = queue();
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            workers.push(std::thread::spawn(move || {
+                let mut n = 0usize;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        let mut pushers = Vec::new();
+        for p in 0..PUSHERS {
+            let q = Arc::clone(&q);
+            pushers.push(std::thread::spawn(move || {
+                for i in 0..PER_PUSHER {
+                    assert!(q.push(req((p + i) % 2, 1.0)));
+                }
+            }));
+        }
+        for h in pushers {
+            h.join().unwrap();
+        }
+        q.close();
+        let drained: usize = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(drained, PUSHERS * PER_PUSHER, "every push dispatched exactly once");
+    }
+
+    #[test]
+    fn callback_notify_fires_on_deliver() {
+        let hit = Arc::new(AtomicBool::new(false));
+        let hit2 = Arc::clone(&hit);
+        let notify = CompletionNotify::Callback(Box::new(move |done: Completion| {
+            assert!(done.delay_s >= 0.0);
+            hit2.store(true, Ordering::SeqCst);
+        }));
+        notify.deliver(Completion { delay_s: 0.5, service_s: 1.0 });
+        assert!(hit.load(Ordering::SeqCst));
     }
 }

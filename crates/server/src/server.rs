@@ -6,13 +6,12 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Sender;
 use psd_core::allocation::psd_rates_clamped;
 use psd_core::estimator::LoadEstimator;
 use psd_propshare::{Drr, Lottery, Stride, Wfq};
 
 use crate::metrics::{MetricsSink, ServerStats};
-use crate::queues::{DispatchQueue, QueuedRequest};
+use crate::queues::{CompletionNotify, DispatchQueue, QueuedRequest};
 
 /// Which proportional-share kernel drives the worker dispatch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +43,17 @@ pub enum Workload {
     Sleep,
 }
 
+/// The default monitor window. This is the **single source of truth**
+/// for the control-window default — tests, the `psd_httpd` binary and
+/// the in-process drivers all inherit it through
+/// [`ServerConfig::default`] (they used to scatter 20/25/50/200 ms
+/// copies). 50 ms refreshes the Eq. 17 weights ~20×/s: fast enough
+/// that sub-second tests see at least one reallocation, slow enough
+/// that the estimator sees tens of arrivals per window at the request
+/// rates the front-ends sustain. Scenario profiles that model the
+/// paper's 1000-time-unit window override it explicitly.
+pub const DEFAULT_CONTROL_WINDOW: Duration = Duration::from_millis(50);
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -64,6 +74,26 @@ pub struct ServerConfig {
     pub control_window: Duration,
     /// Estimator history in windows (paper: 5).
     pub estimator_history: usize,
+}
+
+impl Default for ServerConfig {
+    /// Two classes at δ = 1:2 over one worker, WFQ dispatch, sleep
+    /// workload, a 200 µs work unit, [`DEFAULT_CONTROL_WINDOW`] and the
+    /// paper's 5-window estimator history. Callers override what they
+    /// need with struct-update syntax; nothing else in the tree
+    /// hard-codes these values anymore.
+    fn default() -> Self {
+        Self {
+            deltas: vec![1.0, 2.0],
+            mean_cost: 1.0,
+            scheduler: SchedulerKind::Wfq,
+            workers: 1,
+            work_unit: Duration::from_micros(200),
+            workload: Workload::Sleep,
+            control_window: DEFAULT_CONTROL_WINDOW,
+            estimator_history: 5,
+        }
+    }
 }
 
 /// Completion receipt for synchronous submitters.
@@ -155,20 +185,35 @@ impl PsdServer {
 
     /// Fire-and-forget submission. Returns `false` after shutdown began.
     pub fn submit(&self, class: usize, cost: f64) -> bool {
-        self.submit_inner(class, cost, None)
+        self.submit_inner(class, cost, CompletionNotify::None)
     }
 
     /// Submit and receive a [`Completion`] receipt when the request has
-    /// executed (used by the HTTP front-end).
+    /// executed (used by the threaded HTTP front-end, which parks the
+    /// connection's thread until then).
     pub fn submit_sync(&self, class: usize, cost: f64) -> Option<Completion> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        if !self.submit_inner(class, cost, Some(tx)) {
+        if !self.submit_inner(class, cost, CompletionNotify::Channel(tx)) {
             return None;
         }
         rx.recv().ok()
     }
 
-    fn submit_inner(&self, class: usize, cost: f64, notify: Option<Sender<Completion>>) -> bool {
+    /// Submit and have the executing worker invoke `notify` with the
+    /// [`Completion`] — no thread blocks in between. The reactor engine
+    /// replies through this: the callback posts into the reactor's
+    /// mailbox and rings its poller. Returns `false` (without invoking
+    /// `notify`) after shutdown began.
+    pub fn submit_async(
+        &self,
+        class: usize,
+        cost: f64,
+        notify: impl FnOnce(Completion) + Send + 'static,
+    ) -> bool {
+        self.submit_inner(class, cost, CompletionNotify::Callback(Box::new(notify)))
+    }
+
+    fn submit_inner(&self, class: usize, cost: f64, notify: CompletionNotify) -> bool {
         assert!(cost.is_finite() && cost > 0.0, "request cost must be positive");
         let class = class.min(self.n_classes - 1);
         self.window_arrivals[class].fetch_add(1, Ordering::Relaxed);
@@ -246,9 +291,7 @@ fn worker_loop(
         let service_s = dispatched.elapsed().as_secs_f64();
         queue.complete(req.class);
         metrics.record(req.class, delay_s, service_s);
-        if let Some(tx) = req.notify {
-            let _ = tx.send(Completion { delay_s, service_s });
-        }
+        req.notify.deliver(Completion { delay_s, service_s });
     }
 }
 
@@ -286,16 +329,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg(deltas: Vec<f64>) -> ServerConfig {
-        ServerConfig {
-            deltas,
-            mean_cost: 1.0,
-            scheduler: SchedulerKind::Wfq,
-            workers: 1,
-            work_unit: Duration::from_micros(200),
-            workload: Workload::Sleep,
-            control_window: Duration::from_millis(20),
-            estimator_history: 3,
-        }
+        ServerConfig { deltas, ..ServerConfig::default() }
     }
 
     #[test]
@@ -335,7 +369,7 @@ mod tests {
             class: 0,
             cost: 1.0,
             enqueued: Instant::now(),
-            notify: None
+            notify: CompletionNotify::None
         }));
     }
 

@@ -1,0 +1,189 @@
+//! Property tests for the sans-io HTTP codec: however the transport
+//! fragments the byte stream, the parse must be identical — that is the
+//! whole contract that lets one parser serve both the blocking engine
+//! (BufReader-sized chunks) and the reactor (whatever epoll hands us).
+
+use proptest::prelude::*;
+use psd_server::{HttpRequest, RequestCodec, Response, WriteBuf};
+
+/// Decode everything a codec can produce from one whole feed.
+fn decode_all(raw: &[u8]) -> Vec<HttpRequest> {
+    let mut codec = RequestCodec::new();
+    codec.feed(raw);
+    let mut out = Vec::new();
+    while let Ok(Some(req)) = codec.poll() {
+        out.push(req);
+    }
+    out
+}
+
+/// Decode the same bytes delivered in the given chunk sizes (cycled
+/// until the input is exhausted; zero-length chunks exercise empty
+/// feeds).
+fn decode_chunked(raw: &[u8], chunks: &[usize]) -> Vec<HttpRequest> {
+    let mut codec = RequestCodec::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < raw.len() {
+        let step = chunks[i % chunks.len()].min(raw.len() - pos);
+        i += 1;
+        codec.feed(&raw[pos..pos + step]);
+        pos += step;
+        while let Ok(Some(req)) = codec.poll() {
+            out.push(req);
+        }
+    }
+    out
+}
+
+/// Build one well-formed request from generated knobs.
+fn build_request(
+    class: usize,
+    cost_milli: u64,
+    keep_alive: bool,
+    body_len: usize,
+    extra_headers: usize,
+) -> String {
+    let mut req = format!(
+        "POST /class{class}/page?cost={}.{:03} HTTP/1.1\r\n",
+        cost_milli / 1000,
+        cost_milli % 1000
+    );
+    req.push_str(&format!("X-Class: {class}\r\n"));
+    for h in 0..extra_headers {
+        req.push_str(&format!("X-Filler-{h}: value-{h}\r\n"));
+    }
+    if !keep_alive {
+        req.push_str("Connection: close\r\n");
+    }
+    req.push_str(&format!("Content-Length: {body_len}\r\n\r\n"));
+    req.push_str(&"b".repeat(body_len));
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A pipelined stream of randomized requests parses to the same
+    /// request sequence whether fed whole, in random split sizes, or
+    /// byte at a time.
+    #[test]
+    fn fragmentation_never_changes_the_parse(
+        specs in proptest::collection::vec(
+            (0usize..3, 1u64..5000, any::<bool>(), 0usize..200, 0usize..5),
+            1..6,
+        ),
+        chunks in proptest::collection::vec(0usize..37, 1..12),
+    ) {
+        let raw: String = specs
+            .iter()
+            .map(|&(class, cost, keep, body, extra)| build_request(class, cost, keep, body, extra))
+            .collect();
+        let raw = raw.as_bytes();
+
+        let whole = decode_all(raw);
+        prop_assert_eq!(whole.len(), specs.len(), "every request parses from the whole feed");
+        for (req, &(class, _, keep, body, _)) in whole.iter().zip(&specs) {
+            let want_class = format!("{class}");
+            prop_assert_eq!(req.x_class.as_deref(), Some(want_class.as_str()));
+            prop_assert_eq!(req.keep_alive(), keep);
+            prop_assert_eq!(req.content_length, body as u64);
+            prop_assert!(req.cost.is_some(), "cost query must parse");
+        }
+
+        let split = decode_chunked(raw, &chunks);
+        prop_assert_eq!(&whole, &split, "random splits must not change the parse");
+
+        let bytewise = decode_chunked(raw, &[1]);
+        prop_assert_eq!(&whole, &bytewise, "byte-at-a-time must not change the parse");
+    }
+
+    /// Serialized responses survive arbitrary partial-write schedules:
+    /// flushing through a writer that accepts random amounts per call
+    /// reproduces the exact byte stream.
+    #[test]
+    fn partial_writes_reassemble_exactly(
+        bodies in proptest::collection::vec(0usize..400, 1..5),
+        quotas in proptest::collection::vec(1usize..61, 1..10),
+        keep in any::<bool>(),
+    ) {
+        struct Throttle<'a> {
+            out: Vec<u8>,
+            quotas: &'a [usize],
+            i: usize,
+        }
+        impl std::io::Write for Throttle<'_> {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                let q = self.quotas[self.i % self.quotas.len()];
+                self.i += 1;
+                // Every few calls, pretend the socket buffer is full.
+                if self.i % 4 == 3 {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = q.min(data.len());
+                self.out.extend_from_slice(&data[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let responses: Vec<Response> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| Response {
+                http11: true,
+                status: 200,
+                reason: "OK",
+                keep_alive: keep,
+                extra_headers: vec![("X-Class", i.to_string())],
+                body: bytes::Bytes::from("r".repeat(len)),
+            })
+            .collect();
+
+        let mut expected = Vec::new();
+        let mut wb = WriteBuf::new();
+        for r in &responses {
+            r.encode_into(&mut expected);
+            wb.push_response(r);
+        }
+        let mut w = Throttle { out: Vec::new(), quotas: &quotas, i: 0 };
+        // Drive like the reactor: flush until drained, resuming after
+        // each WouldBlock as if a writable event arrived.
+        let mut rounds = 0;
+        while !wb.flush_into(&mut w).unwrap() {
+            rounds += 1;
+            prop_assert!(rounds < 100_000, "flush must make progress");
+        }
+        prop_assert!(wb.is_empty());
+        prop_assert_eq!(&w.out, &expected, "partial writes must splice back exactly");
+    }
+
+    /// Interleaved feed/poll with a body split anywhere keeps frames
+    /// aligned: the next request on the connection always parses.
+    #[test]
+    fn body_split_points_never_desync(split in 0usize..120, body_len in 1usize..60) {
+        let first = build_request(1, 1500, true, body_len, 0);
+        let second = "GET /after HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut raw = first.into_bytes();
+        raw.extend_from_slice(second.as_bytes());
+        let split = split.min(raw.len());
+
+        let mut codec = RequestCodec::new();
+        let mut got = Vec::new();
+        codec.feed(&raw[..split]);
+        while let Ok(Some(r)) = codec.poll() {
+            got.push(r);
+        }
+        codec.feed(&raw[split..]);
+        while let Ok(Some(r)) = codec.poll() {
+            got.push(r);
+        }
+        prop_assert_eq!(got.len(), 2, "both requests must parse");
+        prop_assert_eq!(got[0].path.as_str(), "/class1/page");
+        prop_assert_eq!(got[1].path.as_str(), "/after");
+        prop_assert!(!got[1].keep_alive());
+    }
+}

@@ -12,16 +12,7 @@ use psd::server::driver::{drive, ClassTraffic};
 use psd::server::{httplite, PsdServer, SchedulerKind, ServerConfig, Workload};
 
 fn server_cfg(deltas: Vec<f64>) -> ServerConfig {
-    ServerConfig {
-        deltas,
-        mean_cost: 1.0,
-        scheduler: SchedulerKind::Wfq,
-        workers: 1,
-        work_unit: Duration::from_micros(150),
-        workload: Workload::Sleep,
-        control_window: Duration::from_millis(50),
-        estimator_history: 5,
-    }
+    ServerConfig { deltas, work_unit: Duration::from_micros(150), ..ServerConfig::default() }
 }
 
 /// Under high symmetric traffic, the lower class must experience

@@ -1,0 +1,353 @@
+//! Minimal offline stand-in for the `polling` crate: a readiness
+//! poller over Linux `epoll(7)` with an `eventfd(2)` wakeup token, in
+//! the style of the other vendored shims (no crates.io access, so the
+//! syscall surface is bound directly with `extern "C"` declarations —
+//! the one place in the workspace that needs `unsafe`).
+//!
+//! The API is the small level-triggered subset the PSD server's two
+//! front-end engines use:
+//!
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] manage
+//!   interest in a raw fd under a caller-chosen `usize` key;
+//! * [`Poller::wait`] blocks (with optional timeout) and fills a
+//!   caller-owned `Vec<Event>`;
+//! * [`Poller::notify`] wakes a blocked `wait` from any thread — the
+//!   reactor's cross-thread completion doorbell.
+//!
+//! Level-triggered mode is deliberate: readiness is re-reported until
+//! consumed, so a connection state machine that stops mid-buffer is
+//! re-driven on the next tick instead of wedging (the classic
+//! edge-trigger starvation bug).
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// Linux ABI constants (uapi/linux/eventpoll.h, bits/eventfd.h).
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event`. x86-64 is the one Linux ABI where the kernel
+/// declares it packed; everywhere else it has natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// The key [`Poller`] reserves for its internal wakeup eventfd; user
+/// fds must use any other value.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// What to watch a registered fd for. Error/hang-up conditions are
+/// always reported (mapped onto both directions) regardless of
+/// interest, as epoll itself does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable (or closed by the peer).
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither direction — only errors/hang-ups are reported.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    fn bits(self) -> u32 {
+        let mut e = EPOLLRDHUP; // peer half-close always interesting
+        if self.readable {
+            e |= EPOLLIN;
+        }
+        if self.writable {
+            e |= EPOLLOUT;
+        }
+        e
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: usize,
+    /// Readable, peer-closed, or in an error state (a read will not
+    /// block — it may return 0 or the pending error).
+    pub readable: bool,
+    /// Writable or in an error state (a write will not block).
+    pub writable: bool,
+}
+
+/// A level-triggered epoll instance plus an eventfd wakeup token.
+///
+/// `wait` is meant to be called from one thread; `add`/`modify`/
+/// `delete`/`notify` are safe from any thread concurrently with it
+/// (epoll and eventfd are thread-safe kernel objects).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    event_fd: RawFd,
+}
+
+// Raw fds are plain integers; the kernel objects behind them are
+// thread-safe for the operations this API exposes.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Create an epoll instance with its wakeup eventfd registered
+    /// under [`NOTIFY_KEY`].
+    pub fn new() -> io::Result<Self> {
+        let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let event_fd = match check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Self { epfd, event_fd };
+        poller.ctl(EPOLL_CTL_ADD, event_fd, NOTIFY_KEY, Interest::READABLE)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest.bits(), data: key as u64 };
+        check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `key` with the given interest.
+    ///
+    /// # Panics
+    /// Panics if `key` is [`NOTIFY_KEY`] (reserved for the wakeup fd).
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        assert_ne!(key, NOTIFY_KEY, "key {NOTIFY_KEY} is reserved for the notify eventfd");
+        self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    /// Change the interest (and/or key) of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        assert_ne!(key, NOTIFY_KEY, "key {NOTIFY_KEY} is reserved for the notify eventfd");
+        self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) })?;
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or [`Poller::notify`] is called.
+    /// Ready fds are appended to `events` (cleared first); the internal
+    /// wakeup token is drained and never reported. Returns the number
+    /// of events delivered; `0` means timeout, wakeup, or a signal.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 1 ns timeout does not busy-spin at 0 ms.
+            Some(d) => {
+                d.as_millis().saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0)) as c_int
+            }
+        };
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+        let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
+        let n = match check(n) {
+            Ok(n) => n as usize,
+            // A signal interrupting the wait is a spurious wakeup, not
+            // an error — callers loop on their own predicate anyway.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &raw[..n] {
+            let key = ev.data as usize;
+            let bits = ev.events;
+            if key == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            let hangup = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            events.push(Event {
+                key,
+                readable: bits & EPOLLIN != 0 || hangup,
+                writable: bits & EPOLLOUT != 0 || hangup,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wake the thread blocked in [`Poller::wait`], if any; the next
+    /// `wait` returns immediately otherwise. Callable from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { write(self.event_fd, (&one as *const u64).cast(), 8) };
+        // EAGAIN means the counter is already saturated — the wakeup is
+        // pending, which is all a doorbell needs.
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = 0u64;
+        // Nonblocking eventfd: one read resets the counter.
+        unsafe { read(self.event_fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.event_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wait_times_out_empty() {
+        let p = Poller::new().unwrap();
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let p = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&p);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut evs = Vec::new();
+        let t = std::time::Instant::now();
+        // Without the notify this would block for 5 s.
+        p.wait(&mut evs, Some(Duration::from_secs(5))).unwrap();
+        assert!(t.elapsed() < Duration::from_secs(2), "notify must cut the wait short");
+        assert!(evs.is_empty(), "the wakeup token is never reported");
+        waker.join().unwrap();
+        // The token was drained: the next wait times out normally.
+        let n = p.wait(&mut evs, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let p = Poller::new().unwrap();
+        p.add(listener.as_raw_fd(), 7, Interest::READABLE).unwrap();
+        let mut evs = Vec::new();
+        assert_eq!(p.wait(&mut evs, Some(Duration::from_millis(20))).unwrap(), 0, "quiet");
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].key, 7);
+        assert!(evs[0].readable);
+        p.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn stream_readability_tracks_data_and_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        p.add(server.as_raw_fd(), 1, Interest::NONE).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut evs = Vec::new();
+        // No read interest: data alone must not wake us.
+        assert_eq!(p.wait(&mut evs, Some(Duration::from_millis(30))).unwrap(), 0);
+        p.modify(server.as_raw_fd(), 1, Interest::READABLE).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(evs[0].readable && !evs[0].writable);
+
+        // A connected socket with write interest is instantly writable.
+        p.modify(server.as_raw_fd(), 1, Interest::WRITABLE).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(evs[0].writable);
+        p.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_reports_readable_without_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let p = Poller::new().unwrap();
+        p.add(server.as_raw_fd(), 3, Interest::NONE).unwrap();
+        drop(client);
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "hang-up must surface even with empty interest");
+        assert!(evs[0].readable, "hang-up maps onto readable so the owner sees EOF");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn notify_key_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let p = Poller::new().unwrap();
+        let _ = p.add(listener.as_raw_fd(), NOTIFY_KEY, Interest::READABLE);
+    }
+}
