@@ -1,0 +1,89 @@
+//! Hot-path microbenches for the serving stack (`BENCH_hotpath`
+//! trajectory): HTTP codec parse throughput and dispatch-queue submit
+//! throughput — the two per-request costs every front-end engine pays
+//! before any scheduling policy runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psd_server::{RequestCodec, Response, WriteBuf};
+
+/// One keep-alive GET with a cost query and two headers — the shape
+/// the load generator hammers.
+const REQUEST: &[u8] =
+    b"GET /class1/page?cost=1.500000 HTTP/1.1\r\nX-Class: 1\r\nConnection: keep-alive\r\n\r\n";
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("parse_keep_alive_request", |b| {
+        let mut codec = RequestCodec::new();
+        b.iter(|| {
+            for _ in 0..1_000 {
+                codec.feed(REQUEST);
+                let req = codec.poll().expect("valid").expect("complete");
+                black_box(req.cost);
+            }
+        })
+    });
+    group.bench_function("parse_byte_fragmented", |b| {
+        let mut codec = RequestCodec::new();
+        b.iter(|| {
+            for _ in 0..100 {
+                for chunk in REQUEST.chunks(7) {
+                    codec.feed(chunk);
+                    let _ = black_box(codec.poll());
+                }
+            }
+        })
+    });
+    group.bench_function("encode_response", |b| {
+        let resp = Response {
+            http11: true,
+            status: 200,
+            reason: "OK",
+            keep_alive: true,
+            extra_headers: vec![("X-Class", "1".into()), ("X-Slowdown", "2.5000".into())],
+            body: bytes::Bytes::from(&b"served path=/class1/page class=1\n"[..]),
+        };
+        let mut wb = WriteBuf::new();
+        b.iter(|| {
+            for _ in 0..1_000 {
+                wb.push_response(&resp);
+                let mut sink = std::io::sink();
+                black_box(wb.flush_into(&mut sink).expect("sink accepts all"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_queue_submit(c: &mut Criterion) {
+    use psd_server::{PsdServer, SchedulerKind, ServerConfig, Workload};
+    use std::time::Duration;
+
+    let mut group = c.benchmark_group("queue_submit");
+    // Submit+drain cycles through the full facade: arrival shard,
+    // dispatch (or wheel lane), execution, completion notification.
+    for (label, scheduler) in
+        [("wfq_pool", SchedulerKind::Wfq), ("rate_partition_wheel", SchedulerKind::RatePartition)]
+    {
+        group.bench_with_input(BenchmarkId::new("submit_sync", label), &scheduler, |b, &sched| {
+            let server = PsdServer::start(ServerConfig {
+                deltas: vec![1.0, 2.0],
+                workers: 2,
+                work_unit: Duration::from_micros(1),
+                scheduler: sched,
+                workload: Workload::Sleep,
+                control_window: Duration::from_secs(60),
+                ..ServerConfig::default()
+            });
+            b.iter(|| {
+                for i in 0..200 {
+                    black_box(server.submit_sync(i % 2, 1.0).expect("executes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_queue_submit);
+criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! ```text
 //! psd_loadtest [--scenario steady] [--duration 10s] [--warmup 3s]
 //!              [--connections 64] [--rate R] [--deltas 1,2]
-//!              [--workers W] [--engine threads|reactor] [--seed N]
+//!              [--workers W] [--engine threads|reactor] [--shards N]
+//!              [--work-unit-us U] [--seed N]
 //!              [--json PATH] [--check MAX_DEV] [--list]
 //!
 //!   --scenario     steady | burst | flashcrowd | stepload |
@@ -17,6 +18,13 @@
 //!   --engine       HTTP front-end engine under test: threads
 //!                  (one thread per connection, the baseline) or
 //!                  reactor (epoll event loop)   (default: threads)
+//!   --shards       reactor event-loop shard count
+//!                  (default: min(cores, 4); threads engine ignores)
+//!   --work-unit-us wall-clock µs per work unit — scales the machine
+//!                  rate, e.g. 300 doubles capacity vs the stock 600
+//!   --control-window-ms
+//!                  allocator monitor window (default 500; short runs
+//!                  at high rates converge faster with ~150)
 //!   --seed         schedule + cost-draw seed
 //!   --json PATH    also write the JSON report to PATH
 //!   --check D      exit non-zero on errors or slowdown-ratio
@@ -39,6 +47,9 @@ fn main() {
     let mut deltas: Option<Vec<f64>> = None;
     let mut workers: Option<usize> = None;
     let mut engine: Option<EngineKind> = None;
+    let mut shards: Option<usize> = None;
+    let mut work_unit_us: Option<u64> = None;
+    let mut control_window_ms: Option<u64> = None;
     let mut seed: Option<u64> = None;
     let mut json_path: Option<String> = None;
     let mut check: Option<f64> = None;
@@ -100,6 +111,30 @@ fn main() {
                         .unwrap_or_else(|| die("--engine needs 'threads' or 'reactor'")),
                 );
             }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--shards needs a positive integer")),
+                );
+            }
+            "--work-unit-us" => {
+                work_unit_us = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--work-unit-us needs a positive integer")),
+                );
+            }
+            "--control-window-ms" => {
+                control_window_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--control-window-ms needs a positive integer")),
+                );
+            }
             "--seed" => {
                 seed = Some(
                     args.next()
@@ -126,7 +161,8 @@ fn main() {
                 println!(
                     "usage: psd_loadtest [--scenario NAME] [--duration 10s] [--warmup 3s] \
                      [--connections N] [--rate R] [--deltas 1,2] [--workers W] \
-                     [--engine threads|reactor] [--seed N] [--json PATH] [--check D] [--list]"
+                     [--engine threads|reactor] [--shards N] [--work-unit-us U] \
+                     [--control-window-ms M] [--seed N] [--json PATH] [--check D] [--list]"
                 );
                 return;
             }
@@ -195,17 +231,27 @@ fn main() {
     if let Some(e) = engine {
         scenario.server.engine = e;
     }
+    if let Some(n) = shards {
+        scenario.server.shards = n;
+    }
+    if let Some(u) = work_unit_us {
+        scenario.server.work_unit = Duration::from_micros(u);
+    }
+    if let Some(ms) = control_window_ms {
+        scenario.server.control_window = Duration::from_millis(ms);
+    }
     if let Some(s) = seed {
         scenario.seed = s;
     }
     scenario.validate();
 
     eprintln!(
-        "psd_loadtest: scenario '{}' for {:?} ({} connections, {} engine)…",
+        "psd_loadtest: scenario '{}' for {:?} ({} connections, {} engine, {} shard(s))…",
         scenario.name,
         scenario.duration,
         scenario.connections,
-        scenario.server.engine.as_str()
+        scenario.server.engine.as_str(),
+        scenario.server.shards
     );
     let out = harness::run_scenario(&scenario)
         .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));

@@ -214,10 +214,11 @@ fn run_open(addr: SocketAddr, scenario: &Scenario) -> std::io::Result<GenStats> 
                 Err(_) => return (counters, true),
             };
             while let Some(job) = queue.pop() {
-                let now = start.elapsed();
-                if job.intended > now {
-                    thread::sleep(job.intended - now);
-                }
+                // Compensated pacing (psd_server::timing): plain
+                // `thread::sleep` overshoot would shift every intended
+                // arrival late and shave the offered rate at exactly
+                // the high-rate operating points under test.
+                psd_server::timing::sleep_until(start + job.intended);
                 let c = &mut counters[job.class];
                 c.sent += 1;
                 let outcome = conn.exchange(job.class, job.cost);

@@ -40,6 +40,7 @@ pub fn run_scenario(scenario: &Scenario) -> io::Result<RunOutput> {
         Arc::clone(&server),
         FrontendConfig {
             engine: scenario.server.engine,
+            shards: scenario.server.shards,
             max_connections: (2 * scenario.connections).max(64),
             ..FrontendConfig::default()
         },

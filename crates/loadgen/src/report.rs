@@ -63,6 +63,10 @@ pub struct LoadReport {
     /// `BENCH_loadgen.json` / `BENCH_reactor.json` are self-describing
     /// and the perf trajectory can track the engines separately.
     pub engine: String,
+    /// Reactor event-loop shards the run used (recorded even for the
+    /// threaded engine, which ignores it, so the JSON schema is
+    /// uniform).
+    pub shards: usize,
     /// `"open"` or `"closed"`.
     pub mode: String,
     /// Total run length in seconds (including warmup).
@@ -141,6 +145,7 @@ impl LoadReport {
         LoadReport {
             scenario: scenario.name.clone(),
             engine: scenario.server.engine.as_str().to_string(),
+            shards: scenario.server.shards,
             mode: mode.to_string(),
             duration_s: scenario.duration.as_secs_f64(),
             warmup_s: scenario.warmup.as_secs_f64(),
@@ -192,12 +197,16 @@ impl LoadReport {
     /// Human-readable markdown summary.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
+        let engine = match self.engine.as_str() {
+            "reactor" => format!("reactor engine ({} shard(s))", self.shards),
+            other => format!("{other} engine"),
+        };
         out.push_str(&format!(
-            "## Load report — `{}` ({} engine, {} loop)\n\n\
+            "## Load report — `{}` ({}, {} loop)\n\n\
              {:.1}s run ({:.1}s warmup), {} connections, seed {}, δ = {:?}\n\n\
              total: {} sent, {} errors, {:.0} req/s measured\n\n",
             self.scenario,
-            self.engine,
+            engine,
             self.mode,
             self.duration_s,
             self.warmup_s,
@@ -289,6 +298,7 @@ mod tests {
         for key in [
             "\"scenario\"",
             "\"engine\"",
+            "\"shards\"",
             "\"throughput_rps\"",
             "\"p99_ms\"",
             "\"mean_slowdown\"",

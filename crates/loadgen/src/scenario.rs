@@ -216,6 +216,9 @@ pub struct ServerProfile {
     /// scenario itself is engine-agnostic — every catalog entry runs
     /// against both.
     pub engine: EngineKind,
+    /// Reactor event-loop shards (`--shards` on the CLI; ignored by
+    /// the threaded engine). Defaults to min(cores, 4).
+    pub shards: usize,
 }
 
 impl Default for ServerProfile {
@@ -233,6 +236,7 @@ impl Default for ServerProfile {
             control_window: Duration::from_millis(500),
             estimator_history: 5,
             engine: EngineKind::Threads,
+            shards: psd_server::default_shards(),
         }
     }
 }

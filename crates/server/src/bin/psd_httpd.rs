@@ -3,8 +3,8 @@
 //! ```text
 //! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
 //!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
-//!           [--engine threads|reactor] [--max-connections 1024]
-//!           [--duration-s N]
+//!           [--engine threads|reactor] [--shards N]
+//!           [--max-connections 1024] [--duration-s N]
 //!
 //! Requests are classified by URL (`/class0/...`, `/premium/...`) or an
 //! `X-Class` header; `?cost=2.5` sets the work amount. Responses carry
@@ -12,8 +12,9 @@
 //! kept alive.
 //!
 //! `--engine threads` (default) serves one blocking thread per
-//! connection; `--engine reactor` multiplexes every connection on one
-//! epoll event-loop thread. Past `--max-connections`, new arrivals are
+//! connection; `--engine reactor` multiplexes connections over
+//! `--shards N` epoll event-loop threads (default: min(cores, 4)),
+//! assigned round-robin. Past `--max-connections`, new arrivals are
 //! answered `503` + `Connection: close` on either engine.
 //!
 //!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
@@ -37,6 +38,7 @@ fn main() {
     let mut default_cost = 1.0f64;
     let mut workload = Workload::Sleep;
     let mut engine = EngineKind::Threads;
+    let mut shards = psd_server::default_shards();
     let mut max_connections = FrontendConfig::default().max_connections;
     let mut duration_s: Option<f64> = None;
 
@@ -79,6 +81,13 @@ fn main() {
                     .and_then(EngineKind::parse)
                     .unwrap_or_else(|| die("--engine needs 'threads' or 'reactor'"));
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+            }
             "--max-connections" => {
                 max_connections = args
                     .next()
@@ -99,7 +108,8 @@ fn main() {
                 println!(
                     "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
                      [--work-unit-us U] [--default-cost C] [--spin] \
-                     [--engine threads|reactor] [--max-connections N] [--duration-s N]"
+                     [--engine threads|reactor] [--shards N] [--max-connections N] \
+                     [--duration-s N]"
                 );
                 return;
             }
@@ -121,12 +131,19 @@ fn main() {
     let frontend = HttpFrontend::start_with(
         &addr,
         Arc::clone(&server),
-        FrontendConfig { engine, max_connections, default_cost, ..FrontendConfig::default() },
+        FrontendConfig {
+            engine,
+            shards,
+            max_connections,
+            default_cost,
+            ..FrontendConfig::default()
+        },
     )
     .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
-        "psd_httpd listening on {} — {} engine, {} classes (deltas {deltas:?}), {workers} \
-         worker(s), {work_unit_us}µs/work-unit, ≤{max_connections} connections",
+        "psd_httpd listening on {} — {} engine ({shards} shard(s)), {} classes \
+         (deltas {deltas:?}), {workers} worker(s), {work_unit_us}µs/work-unit, \
+         ≤{max_connections} connections",
         frontend.addr(),
         engine.as_str(),
         deltas.len()

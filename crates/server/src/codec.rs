@@ -34,6 +34,19 @@ pub const MAX_HEADERS: usize = 100;
 /// connection framed; bigger bodies get the response and then a close.
 pub const MAX_BODY_BYTES: u64 = 1024 * 1024;
 
+/// The `Connection:` header, parsed to a copy-free directive (the
+/// request hot path sees one on every keep-alive exchange; keeping the
+/// raw string would be a per-request allocation nobody reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionHeader {
+    /// `Connection: keep-alive` (any case).
+    KeepAlive,
+    /// `Connection: close` (any case).
+    Close,
+    /// Any other value — treated as absent for keep-alive policy.
+    Other,
+}
+
 /// A parsed HTTP-lite request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HttpRequest {
@@ -47,8 +60,8 @@ pub struct HttpRequest {
     pub x_class: Option<String>,
     /// `true` for `HTTP/1.1` (or newer) requests.
     pub http11: bool,
-    /// Lower-cased `Connection:` header value, if present.
-    pub connection: Option<String>,
+    /// Parsed `Connection:` header directive, if present.
+    pub connection: Option<ConnectionHeader>,
     /// Declared `Content-Length` (0 when absent). Framed bodies are
     /// drained (and ignored) inside the codec so keep-alive framing
     /// stays aligned.
@@ -63,9 +76,9 @@ impl HttpRequest {
     /// the `Connection:` header wins; otherwise HTTP/1.1 defaults to
     /// keep-alive and HTTP/1.0 to close.
     pub fn keep_alive(&self) -> bool {
-        match self.connection.as_deref() {
-            Some("keep-alive") => true,
-            Some("close") => false,
+        match self.connection {
+            Some(ConnectionHeader::KeepAlive) => true,
+            Some(ConnectionHeader::Close) => false,
             _ => self.http11,
         }
     }
@@ -112,7 +125,7 @@ struct RequestLine {
 struct HeadPartial {
     line: Option<RequestLine>,
     x_class: Option<String>,
-    connection: Option<String>,
+    connection: Option<ConnectionHeader>,
     content_length: u64,
     chunked: bool,
     n_headers: usize,
@@ -151,7 +164,23 @@ impl Default for RequestCodec {
 impl RequestCodec {
     /// A fresh decoder at a clean frame boundary.
     pub fn new() -> Self {
-        Self { buf: Vec::new(), start: 0, state: State::Head(HeadPartial::default()) }
+        Self::with_buffer(Vec::new())
+    }
+
+    /// A fresh decoder reusing `buf`'s capacity (cleared first) — the
+    /// reactor's per-connection buffer pool hands retired buffers back
+    /// through this so a new connection starts warm instead of
+    /// reallocating its way up from empty.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf, start: 0, state: State::Head(HeadPartial::default()) }
+    }
+
+    /// Retire the decoder and reclaim its (cleared) buffer for a pool.
+    pub fn into_buffer(self) -> Vec<u8> {
+        let mut buf = self.buf;
+        buf.clear();
+        buf
     }
 
     /// Append bytes received from the transport.
@@ -218,6 +247,11 @@ impl RequestCodec {
     /// Consume complete head lines from the buffer. `Ok(Some)` when the
     /// head finished an unframed or bodiless request; `Ok(None)` when
     /// more bytes are needed *or* the state moved to `Drain`.
+    ///
+    /// Lines are parsed **in place** from the receive buffer — the old
+    /// implementation copied every head line into a fresh `String`
+    /// (4–6 allocations per request on the hot path); now only the few
+    /// retained fields (method, path, `X-Class`) allocate.
     fn head_step(&mut self) -> Result<Option<HttpRequest>, DecodeError> {
         loop {
             let window = &self.buf[self.start..];
@@ -231,13 +265,12 @@ impl RequestCodec {
                 return Err(DecodeError("head line too long"));
             }
             let line = std::str::from_utf8(&window[..nl + 1])
-                .map_err(|_| DecodeError("head line is not UTF-8"))?
-                .to_string();
+                .map_err(|_| DecodeError("head line is not UTF-8"))?;
             self.start += nl + 1;
 
             let State::Head(partial) = &mut self.state else { unreachable!("head_step in Head") };
             if partial.line.is_none() {
-                partial.line = Some(parse_request_line(&line)?);
+                partial.line = Some(parse_request_line(line)?);
                 continue;
             }
             if line.trim().is_empty() {
@@ -274,7 +307,14 @@ impl RequestCodec {
                 if name.eq_ignore_ascii_case("x-class") {
                     partial.x_class = Some(value.trim().to_string());
                 } else if name.eq_ignore_ascii_case("connection") {
-                    partial.connection = Some(value.trim().to_ascii_lowercase());
+                    let value = value.trim();
+                    partial.connection = Some(if value.eq_ignore_ascii_case("keep-alive") {
+                        ConnectionHeader::KeepAlive
+                    } else if value.eq_ignore_ascii_case("close") {
+                        ConnectionHeader::Close
+                    } else {
+                        ConnectionHeader::Other
+                    });
                 } else if name.eq_ignore_ascii_case("content-length") {
                     partial.content_length =
                         value.trim().parse().map_err(|_| DecodeError("bad Content-Length"))?;
@@ -288,8 +328,8 @@ impl RequestCodec {
 
 fn parse_request_line(line: &str) -> Result<RequestLine, DecodeError> {
     let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().ok_or(DecodeError("missing request target"))?.to_string();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().ok_or(DecodeError("missing request target"))?;
     if method.is_empty() {
         return Err(DecodeError("empty request line"));
     }
@@ -298,14 +338,16 @@ fn parse_request_line(line: &str) -> Result<RequestLine, DecodeError> {
         return Err(DecodeError("bad HTTP version token"));
     }
     let http11 = version != "HTTP/1.0" && version != "HTTP/0.9";
+    // Borrowed until the very end: only the two retained fields
+    // allocate, the query string never does.
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let cost = query.as_deref().and_then(|q| {
+    let cost = query.and_then(|q| {
         q.split('&').find_map(|kv| kv.strip_prefix("cost=")).and_then(|v| v.parse::<f64>().ok())
     });
-    Ok(RequestLine { method, path, cost, http11 })
+    Ok(RequestLine { method: method.to_string(), path: path.to_string(), cost, http11 })
 }
 
 /// One HTTP-lite response, ready to serialize. Both engines build the
@@ -333,21 +375,21 @@ impl Response {
         Self { http11, status, reason, keep_alive, extra_headers: Vec::new(), body: Bytes::new() }
     }
 
-    /// Serialize head + body onto the end of `out`.
+    /// Serialize head + body onto the end of `out`. Digits and headers
+    /// are formatted directly into `out` (a `Vec<u8>` writer never
+    /// fails), with no intermediate `String` per response.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let proto = if self.http11 { "HTTP/1.1" } else { "HTTP/1.0" };
         let conn = if self.keep_alive { "keep-alive" } else { "close" };
-        out.extend_from_slice(
-            format!(
-                "{proto} {} {}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
-                self.status,
-                self.reason,
-                self.body.len()
-            )
-            .as_bytes(),
+        let _ = write!(
+            out,
+            "{proto} {} {}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
+            self.status,
+            self.reason,
+            self.body.len()
         );
         for (name, value) in &self.extra_headers {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            let _ = write!(out, "{name}: {value}\r\n");
         }
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
@@ -376,6 +418,20 @@ impl WriteBuf {
         Self::default()
     }
 
+    /// A buffer reusing `buf`'s capacity (cleared first) — see
+    /// [`RequestCodec::with_buffer`].
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf, pos: 0 }
+    }
+
+    /// Retire the buffer and reclaim its (cleared) allocation.
+    pub fn into_buffer(self) -> Vec<u8> {
+        let mut buf = self.buf;
+        buf.clear();
+        buf
+    }
+
     /// True when everything queued has been written.
     pub fn is_empty(&self) -> bool {
         self.pos >= self.buf.len()
@@ -390,6 +446,14 @@ impl WriteBuf {
     pub fn push_response(&mut self, resp: &Response) {
         self.compact();
         resp.encode_into(&mut self.buf);
+    }
+
+    /// Append bytes produced by `f` behind whatever is still pending —
+    /// the zero-copy sibling of [`WriteBuf::push_response`] for callers
+    /// that serialize a response directly into the output buffer.
+    pub fn append_with(&mut self, f: impl FnOnce(&mut Vec<u8>)) {
+        self.compact();
+        f(&mut self.buf);
     }
 
     fn compact(&mut self) {
@@ -429,6 +493,49 @@ impl WriteBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffers_pool_through_with_buffer_roundtrip() {
+        let mut c = RequestCodec::new();
+        c.feed(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(c.poll().unwrap().is_some());
+        let buf = c.into_buffer();
+        assert!(buf.is_empty(), "reclaimed buffer is cleared");
+        let cap = buf.capacity();
+        assert!(cap > 0, "capacity survives retirement");
+        let mut c2 = RequestCodec::with_buffer(buf);
+        assert_eq!(c2.buffered(), 0);
+        c2.feed(b"GET /again HTTP/1.1\r\n\r\n");
+        assert_eq!(c2.poll().unwrap().unwrap().path, "/again");
+
+        let mut wb = WriteBuf::with_buffer(Vec::with_capacity(333));
+        wb.push_response(&Response::empty(true, 200, "OK", true));
+        let mut sink = Vec::new();
+        assert!(wb.flush_into(&mut sink).unwrap());
+        assert!(wb.into_buffer().capacity() >= 333, "write capacity survives too");
+    }
+
+    #[test]
+    fn append_with_matches_push_response_bytes() {
+        let resp = Response::empty(true, 200, "OK", false);
+        let mut a = WriteBuf::new();
+        a.push_response(&resp);
+        let mut b = WriteBuf::new();
+        b.append_with(|out| resp.encode_into(out));
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        assert!(a.flush_into(&mut oa).unwrap());
+        assert!(b.flush_into(&mut ob).unwrap());
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn connection_header_parses_to_directive() {
+        let r = decode_ok("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n");
+        assert_eq!(r.connection, Some(ConnectionHeader::KeepAlive));
+        let r = decode_ok("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n");
+        assert_eq!(r.connection, Some(ConnectionHeader::Other));
+        assert!(r.keep_alive(), "unknown directive falls back to the HTTP version default");
+    }
 
     /// Decode one request from a complete byte string, asserting no
     /// leftover state when `exact` (mirrors the old parse_request

@@ -11,6 +11,7 @@ use psd_dist::rng::{SplitMix64, Xoshiro256pp};
 use psd_dist::{ServiceDist, ServiceDistribution};
 
 use crate::server::PsdServer;
+use crate::timing;
 
 /// Per-class traffic description for the driver.
 #[derive(Debug, Clone)]
@@ -53,10 +54,11 @@ pub fn drive(
                 if next_at >= duration {
                     break;
                 }
-                let now = start.elapsed();
-                if next_at > now {
-                    thread::sleep(next_at - now);
-                }
+                // Compensated pacing (shared `timing` calibration):
+                // uncompensated `thread::sleep` overshoots ~50–150 µs
+                // per arrival, which at thousands of arrivals per
+                // second quietly drops the offered load below target.
+                timing::sleep_until(start + next_at);
                 let cost = spec.cost.sample(&mut rng).max(1e-3);
                 if !server.submit(class, cost) {
                     break; // server shutting down

@@ -1,7 +1,19 @@
-//! Measured per-class statistics of the threaded server.
+//! Measured per-class statistics of the server, accumulated
+//! **share-nothing**: every executor (worker thread, timer-wheel
+//! thread) registers its own [`MetricsRecorder`] shard and records
+//! completions into it without ever contending with another thread.
+//!
+//! The old design put one `Mutex<ClassAccum>` per *class*, so every
+//! completion of a class serialized all workers (and the reactor's
+//! completion callbacks) on the same lock — measurable at hundreds of
+//! thousands of completions per second. Now the lock is per *recorder*
+//! (one owner thread → always uncontended, a parking_lot fast-path
+//! CAS), and [`MetricsSink::snapshot`] sweeps the shards — the same
+//! sweep-at-the-control-window pattern the dispatch queue uses for
+//! arrivals.
 
 use parking_lot::Mutex;
-use psd_dist::stats::Welford;
+use std::sync::Arc;
 
 /// Snapshot of one class's measured behaviour.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,49 +46,96 @@ impl ServerStats {
     }
 }
 
-#[derive(Debug, Default)]
+/// One class's running sums. Means only need Σx (the old Welford
+/// accumulators tracked variance nobody read — plain sums are cheaper
+/// and merge exactly).
+#[derive(Debug, Default, Clone, Copy)]
 struct ClassAccum {
-    delay: Welford,
-    service: Welford,
-    slowdown: Welford,
+    completed: u64,
+    delay_sum: f64,
+    service_sum: f64,
+    slowdown_sum: f64,
 }
 
-/// Thread-safe metrics sink shared by the worker pool.
+impl ClassAccum {
+    fn add(&mut self, other: &ClassAccum) {
+        self.completed += other.completed;
+        self.delay_sum += other.delay_sum;
+        self.service_sum += other.service_sum;
+        self.slowdown_sum += other.slowdown_sum;
+    }
+}
+
+/// One recorder's private accumulator array (all classes).
+#[derive(Debug)]
+struct Shard {
+    classes: Mutex<Vec<ClassAccum>>,
+}
+
+/// A per-executor handle into the sink: recording takes only this
+/// shard's (uncontended) lock.
+#[derive(Debug, Clone)]
+pub struct MetricsRecorder {
+    shard: Arc<Shard>,
+}
+
+impl MetricsRecorder {
+    /// Record one completed request (durations in seconds).
+    pub fn record(&self, class: usize, delay_s: f64, service_s: f64) {
+        let mut g = self.shard.classes.lock();
+        let c = &mut g[class];
+        c.completed += 1;
+        c.delay_sum += delay_s;
+        c.service_sum += service_s;
+        // Guard the division: sub-microsecond services can measure as 0.
+        c.slowdown_sum += delay_s / service_s.max(1e-9);
+    }
+}
+
+/// Sharded metrics sink: executors register recorders, snapshots sweep
+/// them.
 #[derive(Debug)]
 pub struct MetricsSink {
-    classes: Vec<Mutex<ClassAccum>>,
+    n_classes: usize,
+    shards: Mutex<Vec<Arc<Shard>>>,
 }
 
 impl MetricsSink {
-    /// Sink for `n` classes.
+    /// Sink for `n` classes with no shards yet.
     pub fn new(n: usize) -> Self {
-        Self { classes: (0..n).map(|_| Mutex::new(ClassAccum::default())).collect() }
+        Self { n_classes: n, shards: Mutex::new(Vec::new()) }
     }
 
-    /// Record one completed request (durations in seconds).
-    pub fn record(&self, class: usize, delay_s: f64, service_s: f64) {
-        let mut g = self.classes[class].lock();
-        g.delay.push(delay_s);
-        g.service.push(service_s);
-        // Guard the division: sub-microsecond services can measure as 0.
-        let service = service_s.max(1e-9);
-        g.slowdown.push(delay_s / service);
+    /// Register a new private shard and return its recorder. Shards are
+    /// never removed: a recorder dropped mid-run keeps its history in
+    /// the snapshot.
+    pub fn recorder(&self) -> MetricsRecorder {
+        let shard =
+            Arc::new(Shard { classes: Mutex::new(vec![ClassAccum::default(); self.n_classes]) });
+        self.shards.lock().push(Arc::clone(&shard));
+        MetricsRecorder { shard }
     }
 
-    /// Take a consistent-enough snapshot (per-class locks, no global
-    /// freeze — fine for monitoring).
+    /// Sweep every shard into one consistent-enough snapshot (per-shard
+    /// locks, no global freeze — fine for monitoring).
     pub fn snapshot(&self) -> ServerStats {
+        let mut totals = vec![ClassAccum::default(); self.n_classes];
+        for shard in self.shards.lock().iter() {
+            let g = shard.classes.lock();
+            for (t, c) in totals.iter_mut().zip(g.iter()) {
+                t.add(c);
+            }
+        }
         ServerStats {
-            classes: self
-                .classes
+            classes: totals
                 .iter()
-                .map(|m| {
-                    let g = m.lock();
+                .map(|t| {
+                    let n = (t.completed as f64).max(1.0);
                     ClassStats {
-                        completed: g.slowdown.count(),
-                        mean_delay: g.delay.mean(),
-                        mean_service: g.service.mean(),
-                        mean_slowdown: g.slowdown.mean(),
+                        completed: t.completed,
+                        mean_delay: if t.completed > 0 { t.delay_sum / n } else { 0.0 },
+                        mean_service: if t.completed > 0 { t.service_sum / n } else { 0.0 },
+                        mean_slowdown: if t.completed > 0 { t.slowdown_sum / n } else { 0.0 },
                     }
                 })
                 .collect(),
@@ -91,9 +150,10 @@ mod tests {
     #[test]
     fn record_and_snapshot() {
         let s = MetricsSink::new(2);
-        s.record(0, 1.0, 0.5); // slowdown 2
-        s.record(0, 3.0, 0.5); // slowdown 6
-        s.record(1, 1.0, 1.0); // slowdown 1
+        let r = s.recorder();
+        r.record(0, 1.0, 0.5); // slowdown 2
+        r.record(0, 3.0, 0.5); // slowdown 6
+        r.record(1, 1.0, 1.0); // slowdown 1
         let snap = s.snapshot();
         assert_eq!(snap.classes[0].completed, 2);
         assert!((snap.classes[0].mean_slowdown - 4.0).abs() < 1e-12);
@@ -105,14 +165,66 @@ mod tests {
     #[test]
     fn empty_ratio_is_none() {
         let s = MetricsSink::new(2);
-        s.record(0, 1.0, 1.0);
+        s.recorder().record(0, 1.0, 1.0);
         assert!(s.snapshot().slowdown_ratio(0, 1).is_none());
     }
 
     #[test]
     fn zero_service_guarded() {
         let s = MetricsSink::new(1);
-        s.record(0, 1.0, 0.0);
+        s.recorder().record(0, 1.0, 0.0);
         assert!(s.snapshot().classes[0].mean_slowdown.is_finite());
+    }
+
+    #[test]
+    fn empty_sink_snapshots_zeroes() {
+        let snap = MetricsSink::new(3).snapshot();
+        assert_eq!(snap.classes.len(), 3);
+        assert!(snap.classes.iter().all(|c| c.completed == 0 && c.mean_slowdown == 0.0));
+    }
+
+    /// The sharded-accumulator consistency contract: concurrent
+    /// recorders on private shards must sum to exactly what the old
+    /// single-mutex sink would have produced.
+    #[test]
+    fn sharded_accumulators_sum_to_the_serial_totals() {
+        const RECORDERS: usize = 4;
+        const PER: usize = 1000;
+        let s = Arc::new(MetricsSink::new(2));
+        let handles: Vec<_> = (0..RECORDERS)
+            .map(|k| {
+                let r = s.recorder();
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let class = (k + i) % 2;
+                        r.record(class, 1.0 + i as f64 * 1e-3, 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Serial oracle with the same stream of records.
+        let mut completed = [0u64; 2];
+        let mut delay = [0.0f64; 2];
+        for k in 0..RECORDERS {
+            for i in 0..PER {
+                let class = (k + i) % 2;
+                completed[class] += 1;
+                delay[class] += 1.0 + i as f64 * 1e-3;
+            }
+        }
+        let snap = s.snapshot();
+        for c in 0..2 {
+            assert_eq!(snap.classes[c].completed, completed[c]);
+            let want_mean = delay[c] / completed[c] as f64;
+            assert!(
+                (snap.classes[c].mean_delay - want_mean).abs() < 1e-9,
+                "class {c}: {} vs {want_mean}",
+                snap.classes[c].mean_delay
+            );
+            assert!((snap.classes[c].mean_service - 0.5).abs() < 1e-12);
+        }
     }
 }

@@ -35,15 +35,17 @@ use psd_propshare::{ProportionalScheduler, WorkItem};
 
 use crate::server::Completion;
 
-/// Shares below this floor are clamped before the `1/r` stretch.
-const MIN_SHARE: f64 = 1e-6;
+/// Shares below this floor are clamped before the `1/r` stretch
+/// (shared with the timer-wheel virtual task servers in
+/// [`crate::wheel`], which apply the same stretch without a worker).
+pub(crate) const MIN_SHARE: f64 = 1e-6;
 
 /// Ceiling on the rate-partition execution stretch: a class whose
 /// estimated load decays to the allocator's rate floor must still run
 /// at ≥1% of the machine rate, or its serial virtual server wedges for
 /// longer than every drain/client timeout on the first request after
 /// the lull.
-const MAX_STRETCH: f64 = 100.0;
+pub(crate) const MAX_STRETCH: f64 = 100.0;
 
 /// How a completed execution is reported back to the submitter.
 pub enum CompletionNotify {

@@ -1,40 +1,41 @@
-//! The epoll reactor engine: every connection multiplexed on one event
-//! loop thread, so concurrency costs file descriptors instead of OS
-//! threads.
+//! The sharded epoll reactor engine: connections multiplexed over N
+//! independent event-loop threads ("shards"), so concurrency costs file
+//! descriptors instead of OS threads and event handling scales across
+//! cores without any shared connection state.
 //!
 //! ```text
-//!            ┌────────────────────── reactor thread ───────────────────────┐
-//!  accept ──▶│ epoll { listener, conns, eventfd }                          │
-//!            │   readable ─▶ read ─▶ codec.feed/poll ─▶ submit_async ──────┼──▶ PSD queue
-//!            │   writable ─▶ WriteBuf::flush_into (partial-write resume)   │        │
-//!            │   eventfd  ─▶ drain completion mailbox ─▶ encode response   │◀───────┘
-//!            └─────────────────────────────────────────────────────────────┘  worker callback:
-//!                                                                             mailbox.push + poller.notify
+//!            ┌─ shard 0 (owns the listener) ──────────────────────────┐
+//!  accept ──▶│ epoll { listener, conns, eventfd }                     │
+//!            │   round-robin: keep conn, or hand fd to shard k ───────┼──┐
+//!            │   readable ─▶ read ─▶ codec ─▶ submit_async ───────────┼──┼─▶ PSD queue
+//!            │   eventfd  ─▶ drain completion mailbox ─▶ respond      │◀─┼──────┘
+//!            └────────────────────────────────────────────────────────┘  │ worker/wheel
+//!            ┌─ shard 1..N-1 ──────────────────────────────────────────┐ │ callback:
+//!            │ epoll { conns, eventfd } ◀── inbox: handed-off streams ◀┼─┘ mailbox.push
+//!            │   same per-connection state machine, own mailbox        │   + eventfd ring
+//!            └─────────────────────────────────────────────────────────┘   (coalesced)
 //! ```
 //!
-//! Per-connection state machine ([`Phase`]):
+//! Share-nothing by construction: each shard owns its poller, its
+//! connection table, its completion mailbox, its buffer pool and its
+//! scratch vectors. The only cross-shard state is the global live
+//! connection counter (for the `max_connections` cap) and the one-way
+//! stream handoff inboxes filled by the accepting shard. PSD workers
+//! reply through the owning shard's mailbox; the eventfd ring is
+//! **coalesced** — a completion only writes the eventfd when it is the
+//! first into an empty mailbox, so a burst of completions costs one
+//! wakeup, not one syscall each.
 //!
-//! * `Reading` — read interest; bytes feed the sans-io codec until a
-//!   full request (head + drained body) is parsed.
-//! * `Waiting` — no epoll interest at all: the request sits in the PSD
-//!   dispatch queue and the connection costs nothing. Pipelined bytes
-//!   stay in the kernel socket buffer (natural TCP backpressure, like
-//!   the blocked thread of the legacy engine). The PSD worker's
-//!   completion callback posts into the mailbox and rings the eventfd.
-//! * `Flushing` — write interest while [`WriteBuf`] drains; resumes at
-//!   the exact byte offset after every short write, then returns to
-//!   `Reading` (keep-alive) or closes.
+//! Each loop iteration reads the clock **once** and stamps every event
+//! of that iteration with it (the coarse cached clock); per-connection
+//! idle bookkeeping never calls `clock_gettime` itself.
 //!
-//! Idle policy: only *arriving or departing bytes* refresh a
-//! connection's clock, so both a silent keep-alive and a slow-loris
-//! drip-feeding a head are reaped after `idle_timeout` (the drip
-//! refreshes the clock per byte, but each head line is bounded, so the
-//! bounded parser plus the cap on connections bounds total exposure).
-//! `Waiting` connections are exempt — their latency belongs to the PSD
-//! queue, which is the thing under test.
+//! The per-connection state machine, idle policy and drain semantics
+//! are unchanged from the single-loop reactor and live in [`shard`].
 
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+mod shard;
+
+use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -43,456 +44,183 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use polling::{Event, Interest, Poller};
+use polling::{Interest, Poller};
 
-use crate::codec::{HttpRequest, RequestCodec, WriteBuf};
-use crate::httplite::{bad_request, class_and_cost, ok_response, service_unavailable};
 use crate::server::{Completion, PsdServer};
 use crate::FrontendConfig;
 
-/// Epoll key of the listener; connection keys start above it.
-const LISTENER_KEY: usize = 0;
+use shard::ShardLoop;
+
+/// Epoll key of the listener (shard 0 only); connection keys start
+/// above it.
+pub(crate) const LISTENER_KEY: usize = 0;
 
 /// Event-loop tick: upper bound on idle-sweep latency and stop-flag
 /// latency (wakeups via the eventfd make the common paths immediate).
-const TICK: Duration = Duration::from_millis(100);
+pub(crate) const TICK: Duration = Duration::from_millis(100);
 
 /// During a drain, how long a mid-request connection may go without
-/// byte progress before it is closed anyway (see [`EventLoop::sweep_idle`]).
-const DRAIN_GRACE: Duration = Duration::from_secs(1);
+/// byte progress before it is closed anyway (see
+/// [`shard::ShardLoop::sweep_idle`]).
+pub(crate) const DRAIN_GRACE: Duration = Duration::from_secs(1);
 
-/// Cross-thread state shared between the event loop, the PSD worker
-/// completion callbacks, and the owning [`Handle`].
-struct Shared {
-    poller: Poller,
-    stop: AtomicBool,
-    /// (connection key, completion) pairs posted by PSD workers.
-    mailbox: Mutex<Vec<(usize, Completion)>>,
-    /// Live connection count (for `503` capping and drain reporting).
-    live: AtomicUsize,
-    exited: Mutex<bool>,
-    exited_cv: Condvar,
+/// State shared by every shard: the total live connection count backing
+/// the `max_connections` cap.
+pub(crate) struct Global {
+    pub(crate) live: AtomicUsize,
 }
 
-/// Where a connection is in its request/response cycle.
-enum Phase {
-    /// Parsing the next request; read interest.
-    Reading,
-    /// Request submitted to the PSD queue; no epoll interest.
-    Waiting { req: HttpRequest, class: usize, cost: f64 },
-    /// Draining the write buffer; write interest.
-    Flushing { then_close: bool },
+/// Accepted streams handed off by the accepting shard, waiting to be
+/// registered by the owning shard's loop. `closed` flips (under the
+/// same lock) when that loop exits, so a handoff racing the exit is
+/// refused instead of stranded — the accepting shard then answers the
+/// client itself rather than leaking a live-counter slot.
+#[derive(Default)]
+pub(crate) struct Inbox {
+    pub(crate) streams: Vec<TcpStream>,
+    pub(crate) closed: bool,
 }
 
-struct Conn {
-    stream: TcpStream,
-    codec: RequestCodec,
-    out: WriteBuf,
-    phase: Phase,
-    /// Refreshed by transferred bytes only (see module docs).
-    last_progress: Instant,
-    /// The interest currently registered with the poller, or `None`
-    /// while the fd is deregistered (`Waiting` phase). Deregistering —
-    /// not registering-with-empty-interest — matters: epoll reports
-    /// ERR/HUP regardless of interest, so a client that aborts while
-    /// its request is queued would otherwise level-trigger a busy loop
-    /// until the PSD worker completes.
-    registration: Option<Interest>,
+/// Cross-thread state of one shard, shared between its event loop, the
+/// PSD completion callbacks targeting its connections, the accepting
+/// shard (stream handoffs) and the owning [`Handle`].
+pub(crate) struct Shared {
+    pub(crate) poller: Poller,
+    pub(crate) stop: AtomicBool,
+    /// (connection key, completion) pairs posted by PSD executors.
+    pub(crate) mailbox: Mutex<Vec<(usize, Completion)>>,
+    pub(crate) inbox: Mutex<Inbox>,
+    pub(crate) exited: Mutex<bool>,
+    pub(crate) exited_cv: Condvar,
+    pub(crate) global: Arc<Global>,
+}
+
+impl Shared {
+    /// Post a completion for `key` and ring the shard's eventfd only if
+    /// the mailbox was empty — completions arriving while a wakeup is
+    /// already pending coalesce into the same poller wake.
+    pub(crate) fn post_completion(&self, key: usize, done: Completion) {
+        let was_empty = {
+            let mut mb = self.mailbox.lock();
+            let was_empty = mb.is_empty();
+            mb.push((key, done));
+            was_empty
+        };
+        if was_empty {
+            let _ = self.poller.notify();
+        }
+    }
 }
 
 /// A running reactor front-end. Created through
 /// [`crate::HttpFrontend::start_with`] with [`crate::EngineKind::Reactor`].
 pub struct Handle {
-    shared: Arc<Shared>,
-    thread: Option<JoinHandle<()>>,
+    shards: Vec<(Arc<Shared>, Option<JoinHandle<()>>)>,
+    global: Arc<Global>,
 }
 
 impl Handle {
-    /// Spawn the event loop on `listener`.
+    /// Spawn `cfg.shards` event loops; shard 0 owns `listener` and
+    /// assigns accepted connections round-robin.
     pub(crate) fn start(
         listener: TcpListener,
         server: Arc<PsdServer>,
         cfg: FrontendConfig,
     ) -> io::Result<Self> {
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            poller: Poller::new()?,
-            stop: AtomicBool::new(false),
-            mailbox: Mutex::new(Vec::new()),
-            live: AtomicUsize::new(0),
-            exited: Mutex::new(false),
-            exited_cv: Condvar::new(),
-        });
-        shared.poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
-        let thread = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || {
-                EventLoop {
-                    listener,
-                    server,
-                    cfg,
-                    shared: Arc::clone(&shared),
-                    conns: HashMap::new(),
-                    next_key: LISTENER_KEY + 1,
-                    accepting: true,
-                }
-                .run();
-                *shared.exited.lock() = true;
-                shared.exited_cv.notify_all();
-            })
-        };
-        Ok(Self { shared, thread: Some(thread) })
+        let n = cfg.shards.max(1);
+        let global = Arc::new(Global { live: AtomicUsize::new(0) });
+        let mut shareds = Vec::with_capacity(n);
+        for _ in 0..n {
+            shareds.push(Arc::new(Shared {
+                poller: Poller::new()?,
+                stop: AtomicBool::new(false),
+                mailbox: Mutex::new(Vec::new()),
+                inbox: Mutex::new(Inbox::default()),
+                exited: Mutex::new(false),
+                exited_cv: Condvar::new(),
+                global: Arc::clone(&global),
+            }));
+        }
+        shareds[0].poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
+        let mut listener = Some(listener);
+        let mut shards = Vec::with_capacity(n);
+        for (i, shared) in shareds.iter().enumerate() {
+            // Shard 0 keeps the (already registered) listener itself —
+            // the fd moves with it, so no re-registration races.
+            let mut sl = ShardLoop::new(
+                if i == 0 { listener.take() } else { None },
+                shareds.clone(),
+                i,
+                Arc::clone(&server),
+                cfg.clone(),
+                Arc::clone(shared),
+            );
+            let thread = {
+                let shared = Arc::clone(shared);
+                thread::Builder::new().name(format!("psd-reactor-{i}")).spawn(move || {
+                    sl.run();
+                    *shared.exited.lock() = true;
+                    shared.exited_cv.notify_all();
+                })?
+            };
+            shards.push((Arc::clone(shared), Some(thread)));
+        }
+        Ok(Self { shards, global })
     }
 
     /// Graceful drain: stop accepting, close idle connections, serve
-    /// out in-flight requests, then join the event loop. Returns the
+    /// out in-flight requests, then join every shard. Returns the
     /// number of connections still alive after `timeout` (0 on a clean
-    /// drain); non-zero means the loop is still flushing and keeps its
+    /// drain); non-zero means some loop is still flushing and keeps its
     /// `PsdServer` `Arc`.
     pub(crate) fn shutdown(&mut self, timeout: Duration) -> io::Result<usize> {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        let _ = self.shared.poller.notify();
-        let deadline = Instant::now() + timeout;
-        let mut exited = self.shared.exited.lock();
-        while !*exited {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            self.shared.exited_cv.wait_for(&mut exited, deadline - now);
+        for (shared, _) in &self.shards {
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = shared.poller.notify();
         }
-        let clean = *exited;
-        drop(exited);
-        if clean {
-            if let Some(h) = self.thread.take() {
-                h.join().map_err(|_| io::Error::other("reactor thread panicked"))?;
+        let deadline = Instant::now() + timeout;
+        let mut clean = true;
+        for (shared, thread) in &mut self.shards {
+            let mut exited = shared.exited.lock();
+            while !*exited {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                shared.exited_cv.wait_for(&mut exited, deadline - now);
             }
+            let this_clean = *exited;
+            drop(exited);
+            clean &= this_clean;
+            if this_clean {
+                if let Some(h) = thread.take() {
+                    h.join().map_err(|_| io::Error::other("reactor shard panicked"))?;
+                }
+            }
+        }
+        if clean {
             Ok(0)
         } else {
-            Ok(self.shared.live.load(Ordering::SeqCst).max(1))
+            Ok(self.global.live.load(Ordering::SeqCst).max(1))
         }
     }
 }
 
 impl Drop for Handle {
-    /// Dropping without a shutdown still stops the loop; in-flight PSD
-    /// requests complete (workers are alive until `PsdServer::shutdown`)
-    /// so the join below converges, mirroring the threaded engine's
-    /// drop contract.
+    /// Dropping without a shutdown still stops every shard; in-flight
+    /// PSD requests complete (the executors are alive until
+    /// `PsdServer::shutdown`) so the joins below converge, mirroring
+    /// the threaded engine's drop contract.
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        let _ = self.shared.poller.notify();
-        if let Some(h) = self.thread.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-struct EventLoop {
-    listener: TcpListener,
-    server: Arc<PsdServer>,
-    cfg: FrontendConfig,
-    shared: Arc<Shared>,
-    conns: HashMap<usize, Conn>,
-    next_key: usize,
-    accepting: bool,
-}
-
-impl EventLoop {
-    fn run(&mut self) {
-        let mut events: Vec<Event> = Vec::new();
-        let mut completions: Vec<(usize, Completion)> = Vec::new();
-        loop {
-            let draining = self.shared.stop.load(Ordering::SeqCst);
-            if draining {
-                self.begin_drain();
-                if self.conns.is_empty() {
-                    break;
-                }
-            }
-            if self.shared.poller.wait(&mut events, Some(TICK)).is_err() {
-                break; // poller gone: nothing recoverable
-            }
-            // Completions first: they free connections for new reads
-            // and are the latency-critical path.
-            {
-                let mut mb = self.shared.mailbox.lock();
-                std::mem::swap(&mut *mb, &mut completions);
-            }
-            for (key, done) in completions.drain(..) {
-                self.on_complete(key, done);
-            }
-            for ev in &events {
-                if ev.key == LISTENER_KEY {
-                    self.accept_ready();
-                } else {
-                    if ev.readable {
-                        self.on_readable(ev.key);
-                    }
-                    if ev.writable {
-                        self.on_writable(ev.key);
-                    }
-                }
-            }
-            self.sweep_idle();
-        }
-        // Loop exit: deregister what's left and release the server.
-        let keys: Vec<usize> = self.conns.keys().copied().collect();
-        for key in keys {
-            self.close(key);
-        }
-    }
-
-    /// First stop-flag observation: stop accepting and close *idle*
-    /// keep-alive connections. Connections mid-request — a partial head
-    /// or body still arriving (`Reading` + `is_mid_request`), queued in
-    /// the PSD dispatcher (`Waiting`), or flushing a response — serve
-    /// out, exactly like the threaded engine's drain; a stalled
-    /// mid-request client is bounded by [`Self::sweep_idle`]'s
-    /// tightened drain grace instead of wedging the drain.
-    fn begin_drain(&mut self) {
-        if self.accepting {
-            self.accepting = false;
-            let _ = self.shared.poller.delete(self.listener.as_raw_fd());
-        }
-        let idle: Vec<usize> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| matches!(c.phase, Phase::Reading) && !c.codec.is_mid_request())
-            .map(|(&k, _)| k)
-            .collect();
-        for key in idle {
-            self.close(key);
-        }
-    }
-
-    fn accept_ready(&mut self) {
-        if !self.accepting {
-            return;
-        }
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if self.conns.len() >= self.cfg.max_connections {
-                        // Over cap: best-effort 503 without ever
-                        // blocking the loop (the socket buffer of a
-                        // fresh connection always fits 80 bytes; if it
-                        // somehow doesn't, the close alone is answer
-                        // enough).
-                        let mut stream = stream;
-                        let _ = stream.set_nonblocking(true);
-                        let _ = stream.write_all(&service_unavailable(true).to_bytes());
-                        continue;
-                    }
-                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
-                        continue;
-                    }
-                    let key = self.next_key;
-                    self.next_key += 1;
-                    if self.shared.poller.add(stream.as_raw_fd(), key, Interest::READABLE).is_err()
-                    {
-                        continue;
-                    }
-                    self.conns.insert(
-                        key,
-                        Conn {
-                            stream,
-                            codec: RequestCodec::new(),
-                            out: WriteBuf::new(),
-                            phase: Phase::Reading,
-                            last_progress: Instant::now(),
-                            registration: Some(Interest::READABLE),
-                        },
-                    );
-                    self.shared.live.store(self.conns.len(), Ordering::SeqCst);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return, // transient accept error: try next tick
-            }
-        }
-    }
-
-    fn on_readable(&mut self, key: usize) {
-        let Some(conn) = self.conns.get_mut(&key) else { return };
-        if !matches!(conn.phase, Phase::Reading) {
-            return; // stale event for a Waiting/Flushing connection
-        }
-        let mut chunk = [0u8; 8192];
-        loop {
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => {
-                    self.close(key);
-                    return;
-                }
-                Ok(n) => {
-                    conn.codec.feed(&chunk[..n]);
-                    conn.last_progress = Instant::now();
-                    match conn.codec.poll() {
-                        Ok(Some(req)) => {
-                            self.begin_request(key, req);
-                            return;
-                        }
-                        Ok(None) => {} // need more bytes
-                        Err(_) => {
-                            conn.out.push_response(&bad_request());
-                            conn.phase = Phase::Flushing { then_close: true };
-                            self.flush(key);
-                            return;
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    self.close(key);
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Hand a parsed request to the PSD queue and park the connection
-    /// (fd deregistered from epoll) until the worker's callback rings
-    /// back.
-    fn begin_request(&mut self, key: usize, req: HttpRequest) {
-        let (class, cost) = class_and_cost(&self.server, &req, self.cfg.default_cost);
-        let http11 = req.http11;
-        let Some(conn) = self.conns.get_mut(&key) else { return };
-        conn.phase = Phase::Waiting { req, class, cost };
-        if conn.registration.take().is_some() {
-            let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
-        }
-        let shared = Arc::clone(&self.shared);
-        let submitted = self.server.submit_async(class, cost, move |done| {
-            shared.mailbox.lock().push((key, done));
+        for (shared, _) in &self.shards {
+            shared.stop.store(true, Ordering::SeqCst);
             let _ = shared.poller.notify();
-        });
-        if !submitted {
-            // Server already shutting down: answer 503 and close.
-            let Some(conn) = self.conns.get_mut(&key) else { return };
-            conn.out.push_response(&service_unavailable(http11));
-            conn.phase = Phase::Flushing { then_close: true };
-            self.flush(key);
         }
-    }
-
-    /// A PSD worker finished this connection's request: encode the
-    /// response and start flushing.
-    fn on_complete(&mut self, key: usize, done: Completion) {
-        let draining = self.shared.stop.load(Ordering::SeqCst);
-        let Some(conn) = self.conns.get_mut(&key) else { return };
-        if !matches!(conn.phase, Phase::Waiting { .. }) {
-            return; // stale completion for a recycled state: ignore
-        }
-        let Phase::Waiting { req, class, cost } =
-            std::mem::replace(&mut conn.phase, Phase::Reading)
-        else {
-            unreachable!("checked above");
-        };
-        // Stop keeping alive once a drain began so shutdown converges;
-        // unframed bodies force a close too.
-        let keep = req.keep_alive() && req.framed() && !draining;
-        conn.out.push_response(&ok_response(&req, class, cost, &done, keep));
-        conn.phase = Phase::Flushing { then_close: !keep };
-        self.flush(key);
-    }
-
-    fn on_writable(&mut self, key: usize) {
-        if matches!(self.conns.get(&key), Some(c) if matches!(c.phase, Phase::Flushing { .. })) {
-            self.flush(key);
-        }
-    }
-
-    /// Drive the write buffer; on drain, close or hand the connection
-    /// back to the read path (serving any pipelined request already
-    /// buffered in the codec).
-    fn flush(&mut self, key: usize) {
-        let Some(conn) = self.conns.get_mut(&key) else { return };
-        let Phase::Flushing { then_close } = conn.phase else { return };
-        let before = conn.out.pending();
-        match conn.out.flush_into(&mut conn.stream) {
-            Ok(true) => {
-                conn.last_progress = Instant::now();
-                if then_close {
-                    self.close(key);
-                    return;
-                }
-                conn.phase = Phase::Reading;
-                self.set_interest(key, Interest::READABLE);
-                // A pipelined request may already be parseable without
-                // another byte arriving.
-                let Some(conn) = self.conns.get_mut(&key) else { return };
-                match conn.codec.poll() {
-                    Ok(Some(req)) => self.begin_request(key, req),
-                    Ok(None) => {}
-                    Err(_) => {
-                        let Some(conn) = self.conns.get_mut(&key) else { return };
-                        conn.out.push_response(&bad_request());
-                        conn.phase = Phase::Flushing { then_close: true };
-                        self.flush(key);
-                    }
-                }
+        for (_, thread) in &mut self.shards {
+            if let Some(h) = thread.take() {
+                let _ = h.join();
             }
-            Ok(false) => {
-                if conn.out.pending() < before {
-                    conn.last_progress = Instant::now(); // partial progress
-                }
-                self.set_interest(key, Interest::WRITABLE);
-            }
-            Err(_) => self.close(key),
-        }
-    }
-
-    /// Reap connections that made no byte progress for `idle_timeout`:
-    /// silent keep-alives, slow-loris heads, and clients that stopped
-    /// reading their response. `Waiting` connections are exempt (their
-    /// time belongs to the PSD queue). During a drain the grace
-    /// tightens to [`DRAIN_GRACE`] so one stalled mid-request client
-    /// cannot pin the shutdown to the full idle timeout.
-    fn sweep_idle(&mut self) {
-        let mut timeout = self.cfg.idle_timeout;
-        if self.shared.stop.load(Ordering::SeqCst) {
-            timeout = timeout.min(DRAIN_GRACE);
-        }
-        let expired: Vec<usize> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                !matches!(c.phase, Phase::Waiting { .. }) && c.last_progress.elapsed() >= timeout
-            })
-            .map(|(&k, _)| k)
-            .collect();
-        for key in expired {
-            self.close(key);
-        }
-    }
-
-    /// (Re)register the connection's fd with `interest`, adding it back
-    /// if it was parked during `Waiting`.
-    fn set_interest(&mut self, key: usize, interest: Interest) {
-        let Some(conn) = self.conns.get_mut(&key) else { return };
-        let fd = conn.stream.as_raw_fd();
-        let result = match conn.registration {
-            Some(current) if current == interest => return,
-            Some(_) => self.shared.poller.modify(fd, key, interest),
-            None => self.shared.poller.add(fd, key, interest),
-        };
-        if result.is_err() {
-            // Registration lost (shouldn't happen): drop the
-            // connection rather than wedge it.
-            self.close(key);
-            return;
-        }
-        conn.registration = Some(interest);
-    }
-
-    fn close(&mut self, key: usize) {
-        if let Some(conn) = self.conns.remove(&key) {
-            if conn.registration.is_some() {
-                let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
-            }
-            self.shared.live.store(self.conns.len(), Ordering::SeqCst);
         }
     }
 }

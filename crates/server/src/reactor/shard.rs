@@ -1,0 +1,516 @@
+//! One reactor shard: a single-threaded epoll event loop owning a
+//! subset of the connections (assigned round-robin by the accepting
+//! shard).
+//!
+//! Per-connection state machine ([`Phase`]):
+//!
+//! * `Reading` — read interest; bytes feed the sans-io codec until a
+//!   full request (head + drained body) is parsed.
+//! * `Waiting` — no epoll interest at all: the request sits in the PSD
+//!   dispatch queue and the connection costs nothing. Pipelined bytes
+//!   stay in the kernel socket buffer (natural TCP backpressure, like
+//!   the blocked thread of the legacy engine). The PSD executor's
+//!   completion callback posts into this shard's mailbox and rings its
+//!   eventfd.
+//! * `Flushing` — write interest while [`WriteBuf`] drains; resumes at
+//!   the exact byte offset after every short write, then returns to
+//!   `Reading` (keep-alive) or closes.
+//!
+//! Idle policy: only *arriving or departing bytes* refresh a
+//! connection's clock, so both a silent keep-alive and a slow-loris
+//! drip-feeding a head are reaped after `idle_timeout` (the drip
+//! refreshes the clock per byte, but each head line is bounded, so the
+//! bounded parser plus the cap on connections bounds total exposure).
+//! `Waiting` connections are exempt — their latency belongs to the PSD
+//! queue, which is the thing under test.
+//!
+//! Allocation discipline: the loop owns every scratch buffer it uses
+//! (poller events, drained completions, handed-off streams, expiry key
+//! lists, the response-body scratch) and a pool of retired
+//! per-connection codec/write buffers, so steady-state event handling
+//! performs **no allocation per event** — `tests/reactor_alloc.rs`
+//! pins this with a counting global allocator. The clock is read once
+//! per loop iteration ([`ShardLoop::now`]) instead of per event.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use polling::{Event, Interest};
+
+use crate::codec::{HttpRequest, RequestCodec, WriteBuf};
+use crate::httplite::{bad_request, class_and_cost, service_unavailable, write_ok_response};
+use crate::server::{Completion, PsdServer};
+use crate::FrontendConfig;
+
+use super::{Shared, DRAIN_GRACE, LISTENER_KEY, TICK};
+
+/// How many retired (codec, write) buffer pairs a shard keeps for
+/// reuse by future connections.
+const POOL_CAP: usize = 256;
+
+/// Where a connection is in its request/response cycle.
+enum Phase {
+    /// Parsing the next request; read interest.
+    Reading,
+    /// Request submitted to the PSD queue; no epoll interest.
+    Waiting { req: HttpRequest, class: usize, cost: f64 },
+    /// Draining the write buffer; write interest.
+    Flushing { then_close: bool },
+}
+
+struct Conn {
+    stream: TcpStream,
+    codec: RequestCodec,
+    out: WriteBuf,
+    phase: Phase,
+    /// Refreshed by transferred bytes only (see module docs), stamped
+    /// from the loop's coarse cached clock.
+    last_progress: Instant,
+    /// The interest currently registered with the poller, or `None`
+    /// while the fd is deregistered (`Waiting` phase). Deregistering —
+    /// not registering-with-empty-interest — matters: epoll reports
+    /// ERR/HUP regardless of interest, so a client that aborts while
+    /// its request is queued would otherwise level-trigger a busy loop
+    /// until the PSD executor completes.
+    registration: Option<Interest>,
+}
+
+pub(super) struct ShardLoop {
+    /// The accepting shard's listener (shard 0 only).
+    listener: Option<TcpListener>,
+    /// Every shard's shared state, for round-robin handoffs.
+    peers: Vec<Arc<Shared>>,
+    self_index: usize,
+    rr_next: usize,
+    server: Arc<PsdServer>,
+    cfg: FrontendConfig,
+    shared: Arc<Shared>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    accepting: bool,
+    /// Coarse cached clock: read once per loop iteration, used for
+    /// every progress stamp and idle comparison in that iteration.
+    now: Instant,
+    /// Retired connection buffers, reused by future accepts.
+    pool: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Response-body formatting scratch shared by every connection.
+    body_scratch: Vec<u8>,
+    /// Reused key list for idle sweeps / drains.
+    key_scratch: Vec<usize>,
+}
+
+impl ShardLoop {
+    pub(super) fn new(
+        listener: Option<TcpListener>,
+        peers: Vec<Arc<Shared>>,
+        self_index: usize,
+        server: Arc<PsdServer>,
+        cfg: FrontendConfig,
+        shared: Arc<Shared>,
+    ) -> Self {
+        let accepting = listener.is_some();
+        Self {
+            listener,
+            peers,
+            self_index,
+            rr_next: self_index,
+            server,
+            cfg,
+            shared,
+            conns: HashMap::new(),
+            next_key: LISTENER_KEY + 1,
+            accepting,
+            now: Instant::now(),
+            pool: Vec::new(),
+            body_scratch: Vec::new(),
+            key_scratch: Vec::new(),
+        }
+    }
+
+    pub(super) fn run(&mut self) {
+        // Loop-owned scratch, reused every iteration (the poller clears
+        // `events`; `completions`/`streams` are swapped with the shared
+        // vectors and drained, handing the capacity back and forth).
+        let mut events: Vec<Event> = Vec::new();
+        let mut completions: Vec<(usize, Completion)> = Vec::new();
+        let mut streams: Vec<TcpStream> = Vec::new();
+        loop {
+            let draining = self.shared.stop.load(Ordering::SeqCst);
+            if draining {
+                self.begin_drain();
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            if self.shared.poller.wait(&mut events, Some(TICK)).is_err() {
+                break; // poller gone: nothing recoverable
+            }
+            // One clock read per iteration: every event handled below
+            // is stamped with this instant.
+            self.now = Instant::now();
+            // Handed-off streams from the accepting shard.
+            if !self.shared.inbox.lock().streams.is_empty() {
+                std::mem::swap(&mut self.shared.inbox.lock().streams, &mut streams);
+                for stream in streams.drain(..) {
+                    self.adopt(stream);
+                }
+            }
+            // Completions first: they free connections for new reads
+            // and are the latency-critical path. The swap drains the
+            // whole batch under one lock — paired with the
+            // first-into-empty-mailbox eventfd ring, a burst of
+            // completions costs one wakeup and one lock.
+            {
+                let mut mb = self.shared.mailbox.lock();
+                std::mem::swap(&mut *mb, &mut completions);
+            }
+            for (key, done) in completions.drain(..) {
+                self.on_complete(key, done);
+            }
+            for ev in &events {
+                if ev.key == LISTENER_KEY {
+                    self.accept_ready();
+                } else {
+                    if ev.readable {
+                        self.on_readable(ev.key);
+                    }
+                    if ev.writable {
+                        self.on_writable(ev.key);
+                    }
+                }
+            }
+            self.sweep_idle();
+        }
+        // Loop exit: deregister what's left and release the server.
+        self.key_scratch.clear();
+        self.key_scratch.extend(self.conns.keys().copied());
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        for key in keys.drain(..) {
+            self.close(key);
+        }
+        // Close the inbox under its lock — a racing handoff either
+        // lands before this drain (closed below) or observes `closed`
+        // and stays with the accepting shard — then release the live
+        // slots of anything never adopted.
+        let leftover = {
+            let mut inbox = self.shared.inbox.lock();
+            inbox.closed = true;
+            std::mem::take(&mut inbox.streams)
+        };
+        for stream in leftover {
+            drop(stream);
+            self.shared.global.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// First stop-flag observation: stop accepting and close *idle*
+    /// keep-alive connections. Connections mid-request — a partial head
+    /// or body still arriving (`Reading` + `is_mid_request`), queued in
+    /// the PSD dispatcher (`Waiting`), or flushing a response — serve
+    /// out, exactly like the threaded engine's drain; a stalled
+    /// mid-request client is bounded by [`Self::sweep_idle`]'s
+    /// tightened drain grace instead of wedging the drain.
+    fn begin_drain(&mut self) {
+        if self.accepting {
+            self.accepting = false;
+            if let Some(listener) = &self.listener {
+                let _ = self.shared.poller.delete(listener.as_raw_fd());
+            }
+        }
+        self.key_scratch.clear();
+        self.key_scratch.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| matches!(c.phase, Phase::Reading) && !c.codec.is_mid_request())
+                .map(|(&k, _)| k),
+        );
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        for key in keys.drain(..) {
+            self.close(key);
+        }
+        self.key_scratch = keys;
+    }
+
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        // Temporarily take the listener so `adopt` can borrow `self`.
+        let Some(listener) = self.listener.take() else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.global.live.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                        // Over cap: best-effort 503 without ever
+                        // blocking the loop (the socket buffer of a
+                        // fresh connection always fits 80 bytes; if it
+                        // somehow doesn't, the close alone is answer
+                        // enough).
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.write_all(&service_unavailable(true).to_bytes());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    self.shared.global.live.fetch_add(1, Ordering::SeqCst);
+                    // Round-robin assignment across shards; the target
+                    // shard registers the fd with its own poller.
+                    let target = self.rr_next % self.peers.len();
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    if target == self.self_index {
+                        self.adopt(stream);
+                    } else {
+                        let peer = &self.peers[target];
+                        let refused = {
+                            let mut inbox = peer.inbox.lock();
+                            if inbox.closed {
+                                Some(stream)
+                            } else {
+                                inbox.streams.push(stream);
+                                None
+                            }
+                        };
+                        match refused {
+                            None => {
+                                let _ = peer.poller.notify();
+                            }
+                            // The peer exited (drain race): keep the
+                            // connection here instead of stranding it —
+                            // this shard serves or closes it like any
+                            // of its own.
+                            Some(stream) => self.adopt(stream),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept error: try next tick
+            }
+        }
+        self.listener = Some(listener);
+    }
+
+    /// Take ownership of an accepted (or handed-off) stream: register
+    /// it with this shard's poller and set up its connection state,
+    /// reusing pooled buffers when available.
+    fn adopt(&mut self, stream: TcpStream) {
+        let key = self.next_key;
+        self.next_key += 1;
+        if self.shared.poller.add(stream.as_raw_fd(), key, Interest::READABLE).is_err() {
+            self.shared.global.live.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let (read_buf, write_buf) = self.pool.pop().unwrap_or_default();
+        self.conns.insert(
+            key,
+            Conn {
+                stream,
+                codec: RequestCodec::with_buffer(read_buf),
+                out: WriteBuf::with_buffer(write_buf),
+                phase: Phase::Reading,
+                last_progress: self.now,
+                registration: Some(Interest::READABLE),
+            },
+        );
+    }
+
+    fn on_readable(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        if !matches!(conn.phase, Phase::Reading) {
+            return; // stale event for a Waiting/Flushing connection
+        }
+        let mut chunk = [0u8; 8192];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(key);
+                    return;
+                }
+                Ok(n) => {
+                    conn.codec.feed(&chunk[..n]);
+                    conn.last_progress = self.now;
+                    match conn.codec.poll() {
+                        Ok(Some(req)) => {
+                            self.begin_request(key, req);
+                            return;
+                        }
+                        Ok(None) => {} // need more bytes
+                        Err(_) => {
+                            conn.out.push_response(&bad_request());
+                            conn.phase = Phase::Flushing { then_close: true };
+                            self.flush(key);
+                            return;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(key);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand a parsed request to the PSD queue and park the connection
+    /// (fd deregistered from epoll) until the executor's callback rings
+    /// back.
+    fn begin_request(&mut self, key: usize, req: HttpRequest) {
+        let (class, cost) = class_and_cost(&self.server, &req, self.cfg.default_cost);
+        let http11 = req.http11;
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        conn.phase = Phase::Waiting { req, class, cost };
+        if conn.registration.take().is_some() {
+            let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
+        }
+        let shared = Arc::clone(&self.shared);
+        let submitted = self.server.submit_async(class, cost, move |done| {
+            shared.post_completion(key, done);
+        });
+        if !submitted {
+            // Server already shutting down: answer 503 and close.
+            let Some(conn) = self.conns.get_mut(&key) else { return };
+            conn.out.push_response(&service_unavailable(http11));
+            conn.phase = Phase::Flushing { then_close: true };
+            self.flush(key);
+        }
+    }
+
+    /// A PSD executor finished this connection's request: encode the
+    /// response and start flushing.
+    fn on_complete(&mut self, key: usize, done: Completion) {
+        let draining = self.shared.stop.load(Ordering::SeqCst);
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        if !matches!(conn.phase, Phase::Waiting { .. }) {
+            return; // stale completion for a recycled state: ignore
+        }
+        let Phase::Waiting { req, class, cost } =
+            std::mem::replace(&mut conn.phase, Phase::Reading)
+        else {
+            unreachable!("checked above");
+        };
+        // Stop keeping alive once a drain began so shutdown converges;
+        // unframed bodies force a close too.
+        let keep = req.keep_alive() && req.framed() && !draining;
+        let scratch = &mut self.body_scratch;
+        conn.out.append_with(|out| write_ok_response(out, scratch, &req, class, cost, &done, keep));
+        conn.phase = Phase::Flushing { then_close: !keep };
+        self.flush(key);
+    }
+
+    fn on_writable(&mut self, key: usize) {
+        if matches!(self.conns.get(&key), Some(c) if matches!(c.phase, Phase::Flushing { .. })) {
+            self.flush(key);
+        }
+    }
+
+    /// Drive the write buffer; on drain, close or hand the connection
+    /// back to the read path (serving any pipelined request already
+    /// buffered in the codec).
+    fn flush(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        let Phase::Flushing { then_close } = conn.phase else { return };
+        let before = conn.out.pending();
+        match conn.out.flush_into(&mut conn.stream) {
+            Ok(true) => {
+                conn.last_progress = self.now;
+                if then_close {
+                    self.close(key);
+                    return;
+                }
+                conn.phase = Phase::Reading;
+                self.set_interest(key, Interest::READABLE);
+                // A pipelined request may already be parseable without
+                // another byte arriving.
+                let Some(conn) = self.conns.get_mut(&key) else { return };
+                match conn.codec.poll() {
+                    Ok(Some(req)) => self.begin_request(key, req),
+                    Ok(None) => {}
+                    Err(_) => {
+                        let Some(conn) = self.conns.get_mut(&key) else { return };
+                        conn.out.push_response(&bad_request());
+                        conn.phase = Phase::Flushing { then_close: true };
+                        self.flush(key);
+                    }
+                }
+            }
+            Ok(false) => {
+                if conn.out.pending() < before {
+                    conn.last_progress = self.now; // partial progress
+                }
+                self.set_interest(key, Interest::WRITABLE);
+            }
+            Err(_) => self.close(key),
+        }
+    }
+
+    /// Reap connections that made no byte progress for `idle_timeout`:
+    /// silent keep-alives, slow-loris heads, and clients that stopped
+    /// reading their response. `Waiting` connections are exempt (their
+    /// time belongs to the PSD queue). During a drain the grace
+    /// tightens to [`DRAIN_GRACE`] so one stalled mid-request client
+    /// cannot pin the shutdown to the full idle timeout.
+    fn sweep_idle(&mut self) {
+        let mut timeout = self.cfg.idle_timeout;
+        if self.shared.stop.load(Ordering::SeqCst) {
+            timeout = timeout.min(DRAIN_GRACE);
+        }
+        let now = self.now;
+        self.key_scratch.clear();
+        self.key_scratch.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| {
+                    !matches!(c.phase, Phase::Waiting { .. })
+                        && now.saturating_duration_since(c.last_progress) >= timeout
+                })
+                .map(|(&k, _)| k),
+        );
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        for key in keys.drain(..) {
+            self.close(key);
+        }
+        self.key_scratch = keys;
+    }
+
+    /// (Re)register the connection's fd with `interest`, adding it back
+    /// if it was parked during `Waiting`.
+    fn set_interest(&mut self, key: usize, interest: Interest) {
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        let fd = conn.stream.as_raw_fd();
+        let result = match conn.registration {
+            Some(current) if current == interest => return,
+            Some(_) => self.shared.poller.modify(fd, key, interest),
+            None => self.shared.poller.add(fd, key, interest),
+        };
+        if result.is_err() {
+            // Registration lost (shouldn't happen): drop the
+            // connection rather than wedge it.
+            self.close(key);
+            return;
+        }
+        conn.registration = Some(interest);
+    }
+
+    fn close(&mut self, key: usize) {
+        if let Some(conn) = self.conns.remove(&key) {
+            if conn.registration.is_some() {
+                let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
+            }
+            // Retire the connection's buffers into the shard pool so
+            // the next accept starts warm.
+            if self.pool.len() < POOL_CAP {
+                self.pool.push((conn.codec.into_buffer(), conn.out.into_buffer()));
+            }
+            self.shared.global.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}

@@ -1,17 +1,20 @@
-//! The [`PsdServer`] facade: worker pool + dispatch queue + online PSD
-//! rate monitor.
+//! The [`PsdServer`] facade: execution engine (worker pool or timer
+//! wheel) + dispatch queue + online PSD rate monitor.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use parking_lot::{Condvar, Mutex};
 use psd_core::allocation::psd_rates_clamped;
 use psd_core::estimator::LoadEstimator;
 use psd_propshare::{Drr, Lottery, Stride, Wfq};
 
-use crate::metrics::{MetricsSink, ServerStats};
+use crate::metrics::{MetricsRecorder, MetricsSink, ServerStats};
 use crate::queues::{CompletionNotify, DispatchQueue, QueuedRequest};
+use crate::timing;
+use crate::wheel::WheelServers;
 
 /// Which proportional-share kernel drives the worker dispatch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,8 +32,14 @@ pub enum SchedulerKind {
     /// of the machine rate (execution stretched by `1/r_i`), so each
     /// class is an independent M/G/1 at rate `r_i` — the regime Eq. 17
     /// assumes. Non-work-conserving; the machine rate is one worker's
-    /// speed, and `workers` should be ≥ the class count so every
-    /// virtual server stays runnable.
+    /// speed.
+    ///
+    /// With the Sleep workload the virtual servers run as **deadline
+    /// chains on a timer wheel** ([`crate::wheel`]): no worker thread
+    /// blocks per in-service request and `workers` does not bound the
+    /// in-service concurrency. The Spin workload still needs real CPU,
+    /// so it keeps the worker pool (raised to ≥ the class count so
+    /// every virtual server stays runnable).
     RatePartition,
 }
 
@@ -39,7 +48,8 @@ pub enum SchedulerKind {
 pub enum Workload {
     /// Busy-spin (CPU-bound, like dynamic content generation).
     Spin,
-    /// Precise sleep (I/O-bound; cheap for tests).
+    /// Precise sleep (I/O-bound; cheap for tests). In rate-partition
+    /// mode this executes on the timer wheel, not a worker thread.
     Sleep,
 }
 
@@ -64,9 +74,10 @@ pub struct ServerConfig {
     pub mean_cost: f64,
     /// Dispatch kernel.
     pub scheduler: SchedulerKind,
-    /// Worker threads (the machine's "capacity").
+    /// Worker threads (the machine's "capacity"). Ignored by the
+    /// timer-wheel path (rate partition + Sleep), which needs none.
     pub workers: usize,
-    /// Wall-clock duration of one work unit on one worker.
+    /// Wall-clock duration of one work unit.
     pub work_unit: Duration,
     /// Spin or sleep execution.
     pub workload: Workload,
@@ -112,70 +123,138 @@ impl Completion {
     }
 }
 
+/// The execution engine behind the facade: either the shared dispatch
+/// queue feeding a worker pool, or the timer-wheel virtual task
+/// servers (rate partition + Sleep — no blocked threads).
+enum Exec {
+    Pool(Arc<DispatchQueue>),
+    Wheel(Arc<WheelServers>),
+}
+
+impl Exec {
+    fn submit(&self, req: QueuedRequest) -> bool {
+        match self {
+            Exec::Pool(q) => q.push(req),
+            Exec::Wheel(w) => w.submit(req),
+        }
+    }
+
+    fn set_weights(&self, weights: &[f64]) {
+        match self {
+            Exec::Pool(q) => q.set_weights(weights),
+            Exec::Wheel(w) => w.set_weights(weights),
+        }
+    }
+
+    fn backlog(&self, class: usize) -> usize {
+        match self {
+            Exec::Pool(q) => q.backlog(class),
+            Exec::Wheel(w) => w.backlog(class),
+        }
+    }
+}
+
+/// An interruptible stop signal: the monitor parks on it between
+/// control windows instead of in a bare `thread::sleep`, so a shutdown
+/// never waits out a long window (scenario profiles use multi-second
+/// windows; the old sleep pinned every drain to one).
+struct StopFlag {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopFlag {
+    fn new() -> Self {
+        Self { state: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        *self.state.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Park for up to `d`; returns `true` once stop has been requested
+    /// (immediately, or mid-wait).
+    fn wait_for(&self, d: Duration) -> bool {
+        let mut g = self.state.lock();
+        if *g {
+            return true;
+        }
+        self.cv.wait_for(&mut g, d);
+        *g
+    }
+}
+
 /// A running PSD server.
 pub struct PsdServer {
-    queue: Arc<DispatchQueue>,
+    exec: Arc<Exec>,
     metrics: Arc<MetricsSink>,
     window_arrivals: Arc<Vec<AtomicU64>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopFlag>,
     workers: Vec<JoinHandle<()>>,
     monitor: Option<JoinHandle<()>>,
     n_classes: usize,
 }
 
 impl PsdServer {
-    /// Start workers and the rate monitor.
+    /// Start the execution engine and the rate monitor.
     pub fn start(cfg: ServerConfig) -> Self {
         assert!(!cfg.deltas.is_empty(), "at least one class");
         assert!(cfg.workers >= 1, "at least one worker");
         assert!(cfg.mean_cost > 0.0, "mean cost must be positive");
         let n = cfg.deltas.len();
-        let queue = Arc::new(match cfg.scheduler {
-            SchedulerKind::Wfq => DispatchQueue::new(Box::new(Wfq::new(vec![1.0; n]))),
-            SchedulerKind::Lottery(seed) => {
-                DispatchQueue::new(Box::new(Lottery::new(vec![1.0; n], seed)))
-            }
-            SchedulerKind::Stride => DispatchQueue::new(Box::new(Stride::new(vec![1.0; n]))),
-            SchedulerKind::Drr(q) => DispatchQueue::new(Box::new(Drr::new(vec![1.0; n], q))),
-            SchedulerKind::RatePartition => DispatchQueue::new_paced(n),
-        });
         let metrics = Arc::new(MetricsSink::new(n));
         let window_arrivals: Arc<Vec<AtomicU64>> =
             Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopFlag::new());
 
-        let sleep_comp = match cfg.workload {
-            Workload::Sleep => calibrate_sleep_overshoot(),
-            Workload::Spin => Duration::ZERO,
-        };
-        // Rate partitioning needs one runnable thread per serial virtual
-        // task server or classes would also queue behind each other for
-        // workers, drifting the slowdown ratios off the δ's.
-        let worker_count = match cfg.scheduler {
-            SchedulerKind::RatePartition => cfg.workers.max(n),
-            _ => cfg.workers,
-        };
-        let workers = (0..worker_count)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                let work_unit = cfg.work_unit;
-                let workload = cfg.workload;
-                thread::spawn(move || {
-                    worker_loop(&queue, &metrics, work_unit, workload, sleep_comp)
+        let use_wheel =
+            cfg.scheduler == SchedulerKind::RatePartition && cfg.workload == Workload::Sleep;
+        let (exec, workers) = if use_wheel {
+            // Rate-partitioned sleeps are pure waiting: the wheel fires
+            // their virtual finish times, so no worker threads exist at
+            // all and in-service concurrency is unbounded by `workers`.
+            (Exec::Wheel(WheelServers::start(n, cfg.work_unit, &metrics)), Vec::new())
+        } else {
+            let queue = Arc::new(match cfg.scheduler {
+                SchedulerKind::Wfq => DispatchQueue::new(Box::new(Wfq::new(vec![1.0; n]))),
+                SchedulerKind::Lottery(seed) => {
+                    DispatchQueue::new(Box::new(Lottery::new(vec![1.0; n], seed)))
+                }
+                SchedulerKind::Stride => DispatchQueue::new(Box::new(Stride::new(vec![1.0; n]))),
+                SchedulerKind::Drr(q) => DispatchQueue::new(Box::new(Drr::new(vec![1.0; n], q))),
+                SchedulerKind::RatePartition => DispatchQueue::new_paced(n),
+            });
+            // Spinning rate partition needs one runnable thread per
+            // serial virtual task server or classes would also queue
+            // behind each other for workers, drifting the slowdown
+            // ratios off the δ's.
+            let worker_count = match cfg.scheduler {
+                SchedulerKind::RatePartition => cfg.workers.max(n),
+                _ => cfg.workers,
+            };
+            let workers = (0..worker_count)
+                .map(|_| {
+                    let queue = Arc::clone(&queue);
+                    let recorder = metrics.recorder();
+                    let work_unit = cfg.work_unit;
+                    let workload = cfg.workload;
+                    thread::spawn(move || worker_loop(&queue, &recorder, work_unit, workload))
                 })
-            })
-            .collect();
+                .collect();
+            (Exec::Pool(queue), workers)
+        };
+        let exec = Arc::new(exec);
 
         let monitor = {
-            let queue = Arc::clone(&queue);
+            let exec = Arc::clone(&exec);
             let arrivals = Arc::clone(&window_arrivals);
             let stop = Arc::clone(&stop);
             let cfg = cfg.clone();
-            Some(thread::spawn(move || monitor_loop(&cfg, &queue, &arrivals, &stop)))
+            Some(thread::spawn(move || monitor_loop(&cfg, &exec, &arrivals, &stop)))
         };
 
-        Self { queue, metrics, window_arrivals, stop, workers, monitor, n_classes: n }
+        Self { exec, metrics, window_arrivals, stop, workers, monitor, n_classes: n }
     }
 
     /// Number of classes.
@@ -199,7 +278,7 @@ impl PsdServer {
         rx.recv().ok()
     }
 
-    /// Submit and have the executing worker invoke `notify` with the
+    /// Submit and have the executing engine invoke `notify` with the
     /// [`Completion`] — no thread blocks in between. The reactor engine
     /// replies through this: the callback posts into the reactor's
     /// mailbox and rings its poller. Returns `false` (without invoking
@@ -217,7 +296,7 @@ impl PsdServer {
         assert!(cost.is_finite() && cost > 0.0, "request cost must be positive");
         let class = class.min(self.n_classes - 1);
         self.window_arrivals[class].fetch_add(1, Ordering::Relaxed);
-        self.queue.push(QueuedRequest { class, cost, enqueued: Instant::now(), notify })
+        self.exec.submit(QueuedRequest { class, cost, enqueued: Instant::now(), notify })
     }
 
     /// Live statistics snapshot.
@@ -227,15 +306,23 @@ impl PsdServer {
 
     /// Backlog of one class.
     pub fn backlog(&self, class: usize) -> usize {
-        self.queue.backlog(class)
+        self.exec.backlog(class)
     }
 
     /// Drain pending work, stop all threads, return final statistics.
     pub fn shutdown(self) -> ServerStats {
-        self.stop.store(true, Ordering::SeqCst);
-        self.queue.close();
-        for w in self.workers {
-            let _ = w.join();
+        self.stop.set();
+        match &*self.exec {
+            Exec::Pool(queue) => {
+                queue.close();
+                for w in self.workers {
+                    let _ = w.join();
+                }
+            }
+            Exec::Wheel(wheel) => {
+                wheel.close();
+                wheel.join();
+            }
         }
         if let Some(m) = self.monitor {
             let _ = m.join();
@@ -244,28 +331,11 @@ impl PsdServer {
     }
 }
 
-/// Measure `thread::sleep`'s systematic overshoot (typically ~100 µs on
-/// Linux) so the Sleep workload can subtract it from each target and
-/// keep service durations — and hence offered load — at the modeled
-/// values instead of silently above them.
-fn calibrate_sleep_overshoot() -> Duration {
-    const PROBES: u32 = 8;
-    let probe = Duration::from_micros(500);
-    let mut total = Duration::ZERO;
-    for _ in 0..PROBES {
-        let t = Instant::now();
-        thread::sleep(probe);
-        total += t.elapsed().saturating_sub(probe);
-    }
-    total / PROBES
-}
-
 fn worker_loop(
     queue: &DispatchQueue,
-    metrics: &MetricsSink,
+    recorder: &MetricsRecorder,
     work_unit: Duration,
     workload: Workload,
-    sleep_comp: Duration,
 ) {
     while let Some(d) = queue.pop() {
         let req = d.req;
@@ -277,10 +347,11 @@ fn worker_loop(
         // slowdown is exactly the paper's S = W/(X/r).
         let target = work_unit.mul_f64(req.cost * d.stretch);
         match workload {
-            // Cap the compensation at a quarter of the target so a
-            // noisy calibration can bias a short service only mildly,
-            // while multi-millisecond services get the full correction.
-            Workload::Sleep => thread::sleep(target.saturating_sub(sleep_comp.min(target / 4))),
+            // The shared calibration caps its compensation at a quarter
+            // of the target, so a noisy probe can bias a short service
+            // only mildly while millisecond services get the full
+            // correction.
+            Workload::Sleep => thread::sleep(timing::compensated(target)),
             Workload::Spin => {
                 let until = dispatched + target;
                 while Instant::now() < until {
@@ -290,17 +361,12 @@ fn worker_loop(
         }
         let service_s = dispatched.elapsed().as_secs_f64();
         queue.complete(req.class);
-        metrics.record(req.class, delay_s, service_s);
+        recorder.record(req.class, delay_s, service_s);
         req.notify.deliver(Completion { delay_s, service_s });
     }
 }
 
-fn monitor_loop(
-    cfg: &ServerConfig,
-    queue: &DispatchQueue,
-    arrivals: &[AtomicU64],
-    stop: &AtomicBool,
-) {
+fn monitor_loop(cfg: &ServerConfig, exec: &Exec, arrivals: &[AtomicU64], stop: &StopFlag) {
     let n = cfg.deltas.len();
     let mut estimator = LoadEstimator::new(n, cfg.estimator_history);
     // Effective "mean service time" as a fraction of machine capacity:
@@ -311,15 +377,17 @@ fn monitor_loop(
         SchedulerKind::RatePartition => cfg.mean_cost * cfg.work_unit.as_secs_f64(),
         _ => cfg.mean_cost * cfg.work_unit.as_secs_f64() / cfg.workers as f64,
     };
-    while !stop.load(Ordering::SeqCst) {
-        thread::sleep(cfg.control_window);
+    loop {
+        if stop.wait_for(cfg.control_window) {
+            return;
+        }
         let window_s = cfg.control_window.as_secs_f64();
         let rates: Vec<f64> =
             arrivals.iter().map(|a| a.swap(0, Ordering::Relaxed) as f64 / window_s).collect();
         estimator.observe(&rates);
         let est = estimator.estimate().expect("observed at least one window");
         if let Ok(weights) = psd_rates_clamped(&est, &cfg.deltas, mean_service_s, 1e-4, 0.02) {
-            queue.set_weights(&weights);
+            exec.set_weights(&weights);
         }
     }
 }
@@ -362,15 +430,50 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_fails_gracefully() {
-        let s = PsdServer::start(quick_cfg(vec![1.0]));
-        let queue = Arc::clone(&s.queue);
+        for scheduler in [SchedulerKind::Wfq, SchedulerKind::RatePartition] {
+            let s = PsdServer::start(ServerConfig { scheduler, ..quick_cfg(vec![1.0]) });
+            let exec = Arc::clone(&s.exec);
+            s.shutdown();
+            assert!(
+                !exec.submit(QueuedRequest {
+                    class: 0,
+                    cost: 1.0,
+                    enqueued: Instant::now(),
+                    notify: CompletionNotify::None
+                }),
+                "{scheduler:?}: closed engine must reject"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_partition_sleep_uses_the_wheel() {
+        let s = PsdServer::start(ServerConfig {
+            scheduler: SchedulerKind::RatePartition,
+            workload: Workload::Sleep,
+            ..quick_cfg(vec![1.0, 2.0])
+        });
+        assert!(matches!(*s.exec, Exec::Wheel(_)), "sleep + rate partition runs on the wheel");
+        assert!(s.workers.is_empty(), "no worker threads parked in sleeps");
+        let c = s.submit_sync(0, 1.0).expect("executes");
+        // Even split over 2 classes: stretch 2 → ≈ 400 µs of service.
+        assert!(c.service_s >= 0.0002, "stretched service, got {}", c.service_s);
+        let stats = s.shutdown();
+        assert_eq!(stats.classes[0].completed, 1);
+    }
+
+    #[test]
+    fn rate_partition_spin_keeps_the_worker_pool() {
+        let s = PsdServer::start(ServerConfig {
+            scheduler: SchedulerKind::RatePartition,
+            workload: Workload::Spin,
+            work_unit: Duration::from_micros(50),
+            ..quick_cfg(vec![1.0, 2.0])
+        });
+        assert!(matches!(*s.exec, Exec::Pool(_)), "spinning needs real CPU");
+        assert_eq!(s.workers.len(), 2, "raised to the class count");
+        assert!(s.submit_sync(1, 1.0).is_some());
         s.shutdown();
-        assert!(!queue.push(QueuedRequest {
-            class: 0,
-            cost: 1.0,
-            enqueued: Instant::now(),
-            notify: CompletionNotify::None
-        }));
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! Timer-wheel virtual task servers: the paper's per-class *serial
+//! virtual task server* (Fig. 1) executed as **deadline chains on a
+//! hashed hierarchical timer wheel** instead of worker threads parked
+//! in `thread::sleep`.
+//!
+//! In rate-partition mode a class's requests run one at a time,
+//! stretched by `1/r_i` — pure *waiting*, not computation. PR 2/PR 3
+//! realized that wait by occupying an OS worker thread per in-service
+//! request, so service concurrency was capped by the worker count and
+//! every completion cost a context switch pair. Here a request's
+//! *virtual finish time* is computed at dispatch and inserted into the
+//! wheel; one timer thread fires every due completion in batches. No
+//! thread blocks per request, and in-service concurrency is bounded
+//! only by the class count (or memory), which is what lets hundreds of
+//! stretched requests progress on a 2-worker configuration.
+//!
+//! ```text
+//!  submit ──▶ lane[class] (tiny mutex)        ┌── timer thread ──────────────┐
+//!              ├─ idle: schedule finish time ─┼▶ wheel: 4 levels × 256 slots │
+//!              └─ busy: FIFO behind head      │   advance → fire batch       │
+//!                                             │   fire: record metrics,      │
+//!     chain: fire pops the lane FIFO and ◀────┤   deliver CompletionNotify,  │
+//!     schedules the next finish time          │   chain next from the lane   │
+//!                                             └──────────────────────────────┘
+//! ```
+//!
+//! The wheel itself ([`WheelCore`]) is a pure data structure (ticks in,
+//! fired payloads out) so the tick rounding, cascade and cancellation
+//! logic is unit-testable without clocks or threads. Expired slots keep
+//! their capacity, so steady-state operation allocates nothing.
+
+use std::collections::{HashSet, VecDeque};
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::{MetricsRecorder, MetricsSink};
+use crate::queues::{CompletionNotify, QueuedRequest, MAX_STRETCH, MIN_SHARE};
+use crate::server::Completion;
+use crate::timing;
+
+/// Wheel resolution in nanoseconds (50 µs). Finish times are rounded
+/// **up** to the next tick, so a completion fires at most one tick
+/// late; 50 µs is well under both the sleep-overshoot the old path
+/// suffered and the shortest modeled service times (≥ ~100 µs work
+/// units).
+const TICK_NANOS: u64 = 50_000;
+
+/// Slots per level (256 ⇒ 8 bits of the tick count per level).
+const SLOTS: usize = 256;
+
+const SLOT_BITS: u32 = 8;
+
+/// Hierarchy depth: 4 levels × 8 bits = 2³² ticks ≈ 59 hours of range
+/// at the 50 µs tick; farther deadlines are clamped to the horizon.
+const LEVELS: usize = 4;
+
+const MAX_RANGE: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// One scheduled timer.
+#[derive(Debug)]
+struct Entry<T> {
+    id: u64,
+    expiry: u64,
+    payload: T,
+}
+
+/// The hashed hierarchical timer wheel, in pure tick arithmetic.
+///
+/// Level `L` slot `j` holds timers whose expiry tick has `j` in bit
+/// range `[8L, 8L+8)` and is between `256^L` and `256^(L+1)` ticks
+/// away. Advancing cascades a level-`L` slot down when the clock
+/// reaches the slot boundary `j << 8L`, so every timer reaches level 0
+/// before it is due and fires in the exact tick of its expiry.
+#[derive(Debug)]
+pub(crate) struct WheelCore<T> {
+    now: u64,
+    pending: usize,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+}
+
+impl<T> WheelCore<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            now: 0,
+            pending: 0,
+            next_id: 0,
+            cancelled: HashSet::new(),
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+        }
+    }
+
+    /// Current wheel time in ticks.
+    #[cfg(test)]
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Timers scheduled and not yet fired (cancelled timers count until
+    /// their slot drains).
+    #[cfg(test)]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule `payload` to fire at absolute tick `expiry` (clamped to
+    /// the future and to the wheel horizon). Returns a cancellation id.
+    pub(crate) fn schedule_at(&mut self, expiry: u64, payload: T) -> u64 {
+        let expiry = expiry.clamp(self.now + 1, self.now + MAX_RANGE - 1);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending += 1;
+        self.place(Entry { id, expiry, payload });
+        id
+    }
+
+    /// Cancel a scheduled timer: it will be discarded instead of fired.
+    /// Lazy — the slot entry is dropped when its tick drains. (The
+    /// virtual task servers never cancel — an aborted client's request
+    /// still occupies its class's serial server for the stretched
+    /// duration, exactly as a parked worker thread used to — but the
+    /// wheel supports it for callers that do abort.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn cancel(&mut self, id: u64) {
+        self.cancelled.insert(id);
+    }
+
+    fn place(&mut self, e: Entry<T>) {
+        let delta = e.expiry.saturating_sub(self.now);
+        let mut lvl = 0;
+        while lvl + 1 < LEVELS && delta >= 1 << (SLOT_BITS * (lvl as u32 + 1)) {
+            lvl += 1;
+        }
+        let slot = ((e.expiry >> (SLOT_BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[lvl][slot].push(e);
+    }
+
+    /// The next tick at which something happens: a level-0 expiry or a
+    /// higher-level cascade boundary with occupants. `None` when empty.
+    /// Sleeping until this tick and re-advancing is always correct —
+    /// a cascade wake re-files entries and yields a new, exact deadline.
+    pub(crate) fn next_event_tick(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for j in 1..=(SLOTS as u64 - 1) {
+            let t = self.now + j;
+            if !self.levels[0][(t & (SLOTS as u64 - 1)) as usize].is_empty() {
+                best = Some(t);
+                break;
+            }
+        }
+        for lvl in 1..LEVELS {
+            let shift = SLOT_BITS * lvl as u32;
+            let base = self.now >> shift;
+            for k in 1..=(SLOTS as u64) {
+                let s = base + k;
+                let boundary = s << shift;
+                if best.is_some_and(|b| b <= boundary) {
+                    break;
+                }
+                if !self.levels[lvl][(s & (SLOTS as u64 - 1)) as usize].is_empty() {
+                    best = Some(match best {
+                        Some(b) => b.min(boundary),
+                        None => boundary,
+                    });
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Advance the wheel clock to absolute tick `to`, appending every
+    /// fired payload to `fired`. Empty stretches are skipped in O(1)
+    /// per occupied slot, so a long idle gap costs nothing.
+    pub(crate) fn advance(&mut self, to: u64, fired: &mut Vec<T>) {
+        while self.now < to {
+            match self.next_event_tick() {
+                Some(t) if t <= to => {
+                    self.now = t;
+                    self.run_current_tick(fired);
+                }
+                _ => {
+                    self.now = to;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Cascade any level boundaries aligned with `now` (top-down, so a
+    /// level-2 entry can pass through level 1 in the same tick), then
+    /// fire the level-0 slot.
+    fn run_current_tick(&mut self, fired: &mut Vec<T>) {
+        for lvl in (1..LEVELS).rev() {
+            let shift = SLOT_BITS * lvl as u32;
+            if self.now & ((1 << shift) - 1) != 0 {
+                continue;
+            }
+            let slot = ((self.now >> shift) & (SLOTS as u64 - 1)) as usize;
+            let mut tmp = mem::take(&mut self.levels[lvl][slot]);
+            for e in tmp.drain(..) {
+                self.place(e);
+            }
+            // Hand the (now empty) vec back so the slot keeps capacity.
+            self.levels[lvl][slot] = tmp;
+        }
+        let slot = (self.now & (SLOTS as u64 - 1)) as usize;
+        let lane = &mut self.levels[0][slot];
+        for e in lane.drain(..) {
+            self.pending -= 1;
+            debug_assert_eq!(e.expiry, self.now, "level-0 entries fire in their exact tick");
+            if !self.cancelled.remove(&e.id) {
+                fired.push(e.payload);
+            }
+        }
+    }
+}
+
+/// What fires when a virtual task server finishes a request.
+struct Pending {
+    class: usize,
+    enqueued: Instant,
+    dispatched: Instant,
+    notify: CompletionNotify,
+}
+
+/// One class's serial virtual task server: the allocated share (read
+/// lock-free on the submit path) and the FIFO of requests waiting
+/// behind the in-service head.
+struct Lane {
+    /// `r_i` as f64 bits; submitters read it without any lock.
+    share: AtomicU64,
+    queue: Mutex<LaneQueue>,
+}
+
+#[derive(Default)]
+struct LaneQueue {
+    fifo: VecDeque<QueuedRequest>,
+    busy: bool,
+}
+
+struct WheelShared {
+    epoch: Instant,
+    work_unit: Duration,
+    lanes: Vec<Lane>,
+    state: Mutex<WheelCore<Pending>>,
+    alarm: Condvar,
+    closed: AtomicBool,
+    /// Requests accepted and not yet fired (in a FIFO or on the wheel).
+    in_flight: AtomicUsize,
+    recorder: MetricsRecorder,
+}
+
+/// The rate-partitioned Sleep-workload execution engine: all classes'
+/// virtual task servers multiplexed on one timer thread.
+pub(crate) struct WheelServers {
+    shared: Arc<WheelShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl WheelServers {
+    /// Start the timer thread for `n` classes at an even rate split.
+    pub(crate) fn start(n: usize, work_unit: Duration, metrics: &MetricsSink) -> Arc<Self> {
+        let even = (1.0 / n as f64).to_bits();
+        let shared = Arc::new(WheelShared {
+            epoch: Instant::now(),
+            work_unit,
+            lanes: (0..n)
+                .map(|_| Lane {
+                    share: AtomicU64::new(even),
+                    queue: Mutex::new(LaneQueue::default()),
+                })
+                .collect(),
+            state: Mutex::new(WheelCore::new()),
+            alarm: Condvar::new(),
+            closed: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            recorder: metrics.recorder(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("psd-wheel".into())
+                .spawn(move || timer_loop(&shared))
+                .expect("spawn wheel thread")
+        };
+        Arc::new(Self { shared, thread: Mutex::new(Some(thread)) })
+    }
+
+    /// Accept a request: start service immediately if the class's
+    /// virtual server is idle, else queue behind it. Returns `false`
+    /// after [`WheelServers::close`].
+    pub(crate) fn submit(&self, req: QueuedRequest) -> bool {
+        let class = req.class.min(self.shared.lanes.len() - 1);
+        let lane = &self.shared.lanes[class];
+        let start = {
+            let mut q = lane.queue.lock();
+            // Same protocol as the dispatch queue: `close` passes
+            // through every lane lock after flipping the flag, so a
+            // submit that saw it unset is visible to the final drain.
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if q.busy {
+                q.fifo.push_back(req);
+                None
+            } else {
+                q.busy = true;
+                Some(req)
+            }
+        };
+        if let Some(req) = start {
+            self.shared.start_service(class, req);
+        }
+        true
+    }
+
+    /// Update the per-class rate shares (normalized internally).
+    pub(crate) fn set_weights(&self, weights: &[f64]) {
+        let total: f64 = weights.iter().map(|&w| w.max(MIN_SHARE)).sum();
+        for (lane, &w) in self.shared.lanes.iter().zip(weights) {
+            lane.share.store((w.max(MIN_SHARE) / total).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Requests queued behind `class`'s in-service head.
+    pub(crate) fn backlog(&self, class: usize) -> usize {
+        self.shared.lanes[class].queue.lock().fifo.len()
+    }
+
+    /// Stop accepting; queued and in-service requests still complete.
+    pub(crate) fn close(&self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for lane in &self.shared.lanes {
+            drop(lane.queue.lock());
+        }
+        drop(self.shared.state.lock());
+        self.shared.alarm.notify_all();
+    }
+
+    /// Wait for the timer thread to drain and exit (call after
+    /// [`WheelServers::close`]).
+    pub(crate) fn join(&self) {
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl WheelShared {
+    /// Begin executing `req` on `class`'s virtual server: compute the
+    /// stretched finish time and file it on the wheel.
+    fn start_service(&self, class: usize, req: QueuedRequest) {
+        let share = f64::from_bits(self.lanes[class].share.load(Ordering::Relaxed));
+        let stretch = (1.0 / share.max(MIN_SHARE)).min(MAX_STRETCH);
+        let dispatched = Instant::now();
+        // Compensate like the sleeping worker did: the timer thread's
+        // wait overshoots by the calibrated amount, so aim early and
+        // let the overshoot land the fire on the true finish time.
+        let target = timing::compensated(self.work_unit.mul_f64(req.cost * stretch));
+        let offset_ns = (dispatched + target - self.epoch).as_nanos() as u64;
+        let expiry = offset_ns.div_ceil(TICK_NANOS);
+        let pending = Pending { class, enqueued: req.enqueued, dispatched, notify: req.notify };
+        let wake = {
+            let mut st = self.state.lock();
+            let earlier = st.next_event_tick().is_none_or(|d| expiry < d);
+            st.schedule_at(expiry, pending);
+            earlier
+        };
+        if wake {
+            self.alarm.notify_one();
+        }
+    }
+
+    /// Deliver one fired completion and chain the lane's next request.
+    fn complete(&self, p: Pending) {
+        let service_s = p.dispatched.elapsed().as_secs_f64();
+        let delay_s = p.dispatched.saturating_duration_since(p.enqueued).as_secs_f64();
+        self.recorder.record(p.class, delay_s, service_s);
+        p.notify.deliver(Completion { delay_s, service_s });
+        let next = {
+            let mut q = self.lanes[p.class].queue.lock();
+            match q.fifo.pop_front() {
+                Some(next) => Some(next),
+                None => {
+                    q.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(next) = next {
+            self.start_service(p.class, next);
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn now_tick(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() as u64) / TICK_NANOS
+    }
+}
+
+fn timer_loop(shared: &WheelShared) {
+    let mut fired: Vec<Pending> = Vec::new();
+    let mut st = shared.state.lock();
+    loop {
+        st.advance(shared.now_tick(), &mut fired);
+        if !fired.is_empty() {
+            drop(st);
+            // Fire outside the wheel lock: completions take lane locks,
+            // record metrics and may re-enter `start_service` to chain.
+            for p in fired.drain(..) {
+                shared.complete(p);
+            }
+            st = shared.state.lock();
+            continue;
+        }
+        match st.next_event_tick() {
+            Some(tick) => {
+                let due_ns = tick.saturating_mul(TICK_NANOS);
+                let now_ns = shared.epoch.elapsed().as_nanos() as u64;
+                if due_ns <= now_ns {
+                    continue;
+                }
+                let wait = Duration::from_nanos(due_ns - now_ns);
+                shared.alarm.wait_for(&mut st, wait);
+            }
+            None => {
+                if shared.closed.load(Ordering::SeqCst)
+                    && shared.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                // Idle: sleep until a submit or close rings the alarm.
+                // Both do so while ordering against this lock, so the
+                // wakeup cannot be lost.
+                shared.alarm.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(core: &mut WheelCore<u32>, to: u64) -> Vec<u32> {
+        let mut fired = Vec::new();
+        core.advance(to, &mut fired);
+        fired
+    }
+
+    #[test]
+    fn fires_at_exact_tick_not_before() {
+        let mut w = WheelCore::new();
+        w.schedule_at(5, 1u32);
+        assert!(drain(&mut w, 4).is_empty(), "not due yet");
+        assert_eq!(drain(&mut w, 5), vec![1], "due exactly at tick 5");
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_round_up_to_the_next_tick() {
+        let mut w = WheelCore::new();
+        let _ = drain(&mut w, 100);
+        w.schedule_at(7, 9u32); // already past: clamps to now+1
+        assert_eq!(drain(&mut w, 101), vec![9]);
+    }
+
+    #[test]
+    fn same_tick_timers_fire_together() {
+        let mut w = WheelCore::new();
+        for v in 0..10u32 {
+            w.schedule_at(42, v);
+        }
+        let mut got = drain(&mut w, 1000);
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cascade_level1_fires_in_exact_tick() {
+        let mut w = WheelCore::new();
+        // 1000 ticks out: lands on level 1, must cascade to level 0 at
+        // the 768 boundary and fire exactly at 1000.
+        w.schedule_at(1000, 7u32);
+        assert!(drain(&mut w, 999).is_empty());
+        assert_eq!(drain(&mut w, 1000), vec![7]);
+    }
+
+    #[test]
+    fn cascade_level2_through_level1() {
+        let mut w = WheelCore::new();
+        let expiry = 70_000; // > 65536: level 2
+        w.schedule_at(expiry, 3u32);
+        // Walk up in uneven jumps, crossing several cascade boundaries.
+        let mut fired = Vec::new();
+        for to in [10_000, 65_536, 65_537, 69_999] {
+            w.advance(to, &mut fired);
+            assert!(fired.is_empty(), "nothing before {expiry}, at {to}");
+        }
+        w.advance(expiry, &mut fired);
+        assert_eq!(fired, vec![3]);
+    }
+
+    #[test]
+    fn cancel_on_abort_suppresses_the_fire() {
+        let mut w = WheelCore::new();
+        let a = w.schedule_at(50, 1u32);
+        let _b = w.schedule_at(50, 2u32);
+        w.cancel(a);
+        assert_eq!(drain(&mut w, 60), vec![2], "cancelled timer must not fire");
+        assert_eq!(w.pending(), 0, "cancelled entries still drain from their slot");
+    }
+
+    #[test]
+    fn far_deadlines_clamp_to_the_horizon() {
+        let mut w = WheelCore::new();
+        w.schedule_at(u64::MAX, 5u32);
+        assert_eq!(w.pending(), 1);
+        // Fires at the clamped horizon, not never.
+        assert_eq!(drain(&mut w, MAX_RANGE), vec![5]);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped_cheaply() {
+        let mut w = WheelCore::new();
+        let t = Instant::now();
+        assert!(drain(&mut w, 10_000_000_000).is_empty());
+        assert!(t.elapsed() < Duration::from_millis(100), "empty advance must jump");
+        w.schedule_at(10_000_000_100, 1u32);
+        assert_eq!(drain(&mut w, 10_000_000_100), vec![1]);
+    }
+
+    #[test]
+    fn next_event_tick_bounds_the_true_deadline() {
+        let mut w = WheelCore::new();
+        w.schedule_at(1000, 1u32);
+        let mut fired = Vec::new();
+        // Repeatedly sleeping until next_event_tick must converge on
+        // the exact expiry without ever passing it.
+        loop {
+            let next = w.next_event_tick().expect("timer pending");
+            assert!(next <= 1000);
+            w.advance(next, &mut fired);
+            if !fired.is_empty() {
+                assert_eq!(w.now(), 1000);
+                break;
+            }
+        }
+    }
+}

@@ -70,26 +70,24 @@ fn serves_keep_alive_requests_end_to_end() {
     assert_eq!(total, 20, "all keep-alive exchanges executed");
 }
 
-/// The tentpole claim: ≥512 concurrent keep-alive connections on ONE
-/// reactor thread (the threaded baseline would need 512 OS threads).
-/// Every connection makes two request rounds — the second proves the
-/// connections all stayed alive concurrently, not serially.
-#[test]
-fn holds_512_concurrent_keep_alive_connections() {
-    const CONNS: usize = 512;
+/// Drive `conns` keep-alive connections through `rounds` full request
+/// rounds against a reactor with `shards` event loops; returns the
+/// server-side total completions after a clean drain.
+fn run_concurrent_rounds(conns: usize, rounds: usize, shards: usize) -> u64 {
     let server = quick_server(vec![1.0, 2.0]);
     let fe = HttpFrontend::start_with(
         "127.0.0.1:0",
         Arc::clone(&server),
         FrontendConfig {
             engine: EngineKind::Reactor,
-            max_connections: CONNS + 8,
+            shards,
+            max_connections: conns + 8,
             ..FrontendConfig::default()
         },
     )
     .expect("bind reactor");
 
-    let mut conns: Vec<TcpStream> = (0..CONNS)
+    let mut streams: Vec<TcpStream> = (0..conns)
         .map(|i| {
             let s = TcpStream::connect(fe.addr()).unwrap_or_else(|e| panic!("connect {i}: {e}"));
             s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
@@ -97,30 +95,52 @@ fn holds_512_concurrent_keep_alive_connections() {
         })
         .collect();
 
-    for round in 0..2 {
-        // Fire every request before reading any response: all 512 are
-        // genuinely in flight through the reactor + PSD queue at once.
-        for (i, s) in conns.iter_mut().enumerate() {
+    for round in 0..rounds {
+        // Fire every request before reading any response: all of them
+        // are genuinely in flight through the reactor + PSD queue at
+        // once.
+        for (i, s) in streams.iter_mut().enumerate() {
             s.write_all(
                 format!("GET /class{}/r{round}?cost=0.2 HTTP/1.1\r\n\r\n", i % 2).as_bytes(),
             )
             .unwrap_or_else(|e| panic!("write {i}: {e}"));
         }
-        for (i, s) in conns.iter_mut().enumerate() {
+        for (i, s) in streams.iter_mut().enumerate() {
             let resp = read_response(s);
-            assert!(resp.starts_with("HTTP/1.1 200 OK"), "round {round} conn {i}: {resp}");
+            assert!(
+                resp.starts_with("HTTP/1.1 200 OK"),
+                "{shards} shard(s) round {round} conn {i}: {resp}"
+            );
             assert!(
                 resp.contains("Connection: keep-alive"),
-                "round {round} conn {i} must stay alive: {resp}"
+                "{shards} shard(s) round {round} conn {i} must stay alive: {resp}"
             );
         }
     }
 
-    drop(conns);
+    drop(streams);
     assert_eq!(fe.shutdown(Duration::from_secs(30)).expect("drain"), 0);
     let stats = Arc::try_unwrap(server).ok().expect("reactor released the server").shutdown();
-    let total: u64 = stats.classes.iter().map(|c| c.completed).sum();
-    assert_eq!(total, (2 * CONNS) as u64, "both rounds fully served");
+    stats.classes.iter().map(|c| c.completed).sum()
+}
+
+/// The tentpole claim: ≥512 concurrent keep-alive connections on ONE
+/// reactor thread (the threaded baseline would need 512 OS threads).
+/// Every connection makes two request rounds — the second proves the
+/// connections all stayed alive concurrently, not serially.
+#[test]
+fn holds_512_concurrent_keep_alive_connections() {
+    assert_eq!(run_concurrent_rounds(512, 2, 1), 1024, "both rounds fully served");
+}
+
+/// Shard parity: the same 512-connection script spread round-robin
+/// over 2 event-loop shards serves exactly what the single shard does
+/// — sharding changes who owns an fd, never what the wire does.
+#[test]
+fn two_shards_serve_512_connections_with_single_shard_parity() {
+    let sharded = run_concurrent_rounds(512, 2, 2);
+    assert_eq!(sharded, 1024, "2-shard run fully served");
+    assert_eq!(sharded, run_concurrent_rounds(512, 2, 1), "parity with 1 shard");
 }
 
 #[test]

@@ -47,6 +47,27 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// A timed receive gave up: the channel stayed empty for the whole
+    /// timeout, or it is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the buffer is empty.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                RecvTimeoutError::Timeout => "timed out waiting on an empty channel",
+                RecvTimeoutError::Disconnected => "channel is empty and disconnected",
+            })
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl fmt::Display for RecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("receiving on an empty and disconnected channel")
@@ -77,6 +98,15 @@ pub mod channel {
         /// Receive without blocking, if a message is ready.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.inner.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Block until a message arrives, every sender is dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
