@@ -37,6 +37,7 @@ fn bench_controller_tick(c: &mut Criterion) {
             end: 290.0,
             arrivals: vec![120, 240, 80],
             arrived_work: vec![35.0, 70.0, 23.0],
+            shed_work: vec![0.0; 3],
             completions: vec![118, 236, 81],
             backlog: vec![3, 8, 1],
             slowdown_sums: vec![250.0, 900.0, 120.0],
@@ -67,6 +68,7 @@ fn bench_server_kernels(c: &mut Criterion) {
                     workload: Workload::Sleep,
                     control_window: Duration::from_millis(50),
                     estimator_history: 5,
+                    ..ServerConfig::default()
                 }));
                 for i in 0..200u64 {
                     server.submit((i % 2) as usize, 1.0);

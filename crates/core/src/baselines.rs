@@ -2,7 +2,7 @@
 //! achieves proportional *slowdown* differentiation. They plug into the
 //! same simulator so the benches can show the contrast.
 
-use psd_desim::{RateController, WindowObservation};
+use psd_control::{RateController, WindowObservation};
 
 use crate::estimator::LoadEstimator;
 
@@ -172,6 +172,7 @@ mod tests {
             end: 1000.0,
             arrivals,
             arrived_work: vec![0.0; n],
+            shed_work: vec![0.0; n],
             completions: vec![0; n],
             backlog,
             slowdown_sums: vec![0.0; n],

@@ -1,0 +1,138 @@
+//! [`Admitting`] — admission control composed over any rate
+//! controller.
+//!
+//! Eq. 17 has no feasible solution at ρ ≥ 1; the paper's related work
+//! (§5) restores feasibility by shedding load at the door. This wrapper
+//! makes that composition explicit: it forwards rate decisions to the
+//! inner controller untouched, and attaches per-class admission
+//! probabilities (from [`crate::control::admission`]) computed on the
+//! estimator-smoothed *offered loads* of the observation windows —
+//! shedding the lowest classes first so the premium classes keep their
+//! PSD guarantees under overload.
+
+use psd_control::{ControlDirective, RateController, WindowObservation};
+
+use crate::control::admission::admission_probabilities;
+use crate::estimator::LoadEstimator;
+
+/// Admission control over an inner [`RateController`]. The outermost
+/// wrapper owns the directive's `admit_probability` field (a nested
+/// admission wrapper would be overwritten — don't nest them).
+#[derive(Debug, Clone)]
+pub struct Admitting<C> {
+    inner: C,
+    cap: f64,
+    loads: Option<LoadEstimator>,
+    history: usize,
+}
+
+impl<C: RateController> Admitting<C> {
+    /// Wrap `inner`, targeting a total admitted utilization of `cap`
+    /// (must be in `(0, 1)`). Offered loads are smoothed over
+    /// `history` windows, like the paper's load estimator.
+    pub fn new(inner: C, cap: f64, history: usize) -> Self {
+        assert!(cap > 0.0 && cap < 1.0, "admission cap must be in (0,1), got {cap}");
+        assert!(history > 0, "history must be at least one window");
+        Self { inner, cap, loads: None, history }
+    }
+
+    /// The inner controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: RateController> RateController for Admitting<C> {
+    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
+        self.loads = Some(LoadEstimator::new(n_classes, self.history));
+        self.inner.initial_rates(n_classes)
+    }
+
+    fn reallocate(&mut self, now: f64, window: &WindowObservation) -> Option<Vec<f64>> {
+        self.inner.reallocate(now, window)
+    }
+
+    fn control(&mut self, now: f64, window: &WindowObservation) -> ControlDirective {
+        let directive = self.inner.control(now, window);
+        let loads = self
+            .loads
+            .get_or_insert_with(|| LoadEstimator::new(window.arrivals.len(), self.history));
+        loads.observe(&window.offered_loads());
+        let est = loads.estimate().expect("just observed a window");
+        let decision = admission_probabilities(&est, self.cap);
+        ControlDirective {
+            rates: directive.rates,
+            // `None` (admit everything) when under the cap, so hosts
+            // can skip the per-request admission draw entirely.
+            admit_probability: decision.is_shedding().then_some(decision.admit_probability),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_control::StaticRates;
+
+    fn window(arrived_work: Vec<f64>) -> WindowObservation {
+        let n = arrived_work.len();
+        WindowObservation {
+            index: 0,
+            start: 0.0,
+            end: 1.0,
+            arrivals: vec![10; n],
+            arrived_work,
+            shed_work: vec![0.0; n],
+            completions: vec![0; n],
+            backlog: vec![0; n],
+            slowdown_sums: vec![0.0; n],
+        }
+    }
+
+    #[test]
+    fn under_cap_admits_everything() {
+        let mut a = Admitting::new(StaticRates::even(2), 0.9, 1);
+        a.initial_rates(2);
+        let d = a.control(1.0, &window(vec![0.3, 0.3]));
+        assert_eq!(d.admit_probability, None, "under the cap: no admission table at all");
+    }
+
+    #[test]
+    fn overload_sheds_lowest_class_first() {
+        let mut a = Admitting::new(StaticRates::even(3), 0.9, 1);
+        a.initial_rates(3);
+        let d = a.control(1.0, &window(vec![0.4, 0.4, 0.4]));
+        let p = d.admit_probability.expect("offered 1.2 > cap 0.9 must shed");
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1], 1.0);
+        assert!((p[2] - 0.25).abs() < 1e-12, "class 2 sheds the 0.3 excess: {p:?}");
+    }
+
+    #[test]
+    fn smoothing_averages_offered_loads() {
+        let mut a = Admitting::new(StaticRates::even(2), 0.9, 2);
+        a.initial_rates(2);
+        // One overloaded window followed by an idle one: the 2-window
+        // average (0.6, 0.3) fits under the cap again.
+        let d1 = a.control(1.0, &window(vec![1.2, 0.6]));
+        assert!(d1.admit_probability.is_some());
+        let d2 = a.control(2.0, &window(vec![0.0, 0.0]));
+        assert_eq!(d2.admit_probability, None, "smoothed loads are under the cap");
+    }
+
+    #[test]
+    fn rates_pass_through_unchanged() {
+        let mut a = Admitting::new(StaticRates::even(2), 0.5, 1);
+        let init = a.initial_rates(2);
+        assert_eq!(init, vec![0.5, 0.5]);
+        let d = a.control(1.0, &window(vec![0.9, 0.9]));
+        assert_eq!(d.rates, None, "StaticRates never re-allocates");
+        assert!(d.admit_probability.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "admission cap")]
+    fn cap_validated() {
+        Admitting::new(StaticRates::even(1), 1.0, 1);
+    }
+}

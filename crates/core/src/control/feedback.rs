@@ -19,9 +19,9 @@
 //!   skipping classes with no departures;
 //! * `g = 0` reduces *exactly* to the open-loop Eq. 17 controller.
 
-use psd_desim::{RateController, WindowObservation};
+use psd_control::{RateController, WindowObservation};
 
-use crate::controller::ControllerParams;
+use crate::control::open::ControllerParams;
 use crate::estimator::LoadEstimator;
 
 /// Tuning for the feedback extension.
@@ -190,6 +190,7 @@ mod tests {
             end: 1000.0,
             arrivals,
             arrived_work: vec![0.0; n],
+            shed_work: vec![0.0; n],
             completions,
             backlog: vec![0; n],
             slowdown_sums,

@@ -1,0 +1,48 @@
+//! The unified PSD control plane — **the single home of every rate
+//! decision in the workspace**.
+//!
+//! The contract ([`RateController`], [`WindowObservation`],
+//! [`ControlDirective`]) lives in the dependency-free `psd-control`
+//! crate and is re-exported here; this module adds every concrete
+//! controller and the composition/runtime machinery, so the exact same
+//! stack drives the discrete-event simulator (`psd-desim`) *and* the
+//! live server (`psd-server`):
+//!
+//! * [`open`] — the paper's open-loop Eq. 17 allocator behind a
+//!   windowed load estimator ([`PsdController`], plus the
+//!   heterogeneous-moments variant).
+//! * [`feedback`] — the closed-loop extension (§6 future work): an
+//!   integral controller on measured per-class slowdowns;
+//!   `gain = 0` reduces *exactly* to the open loop.
+//! * [`admission`] — utilization-capped admission probabilities,
+//!   shedding the lowest classes first.
+//! * [`Admitting`] — composes admission with **any** controller by
+//!   overriding [`RateController::control`] to attach
+//!   `admit_probability` to the directive.
+//! * [`ControllerKind`] / [`build_controller`] — the one factory every
+//!   CLI and the server monitor use (`--controller {open,feedback}`,
+//!   `--gain`, `--admission-cap`).
+//! * [`SharedControl`] — the lock-light runtime surface between the
+//!   monitor, the submit path and the admin endpoints: atomic
+//!   f64-bit rate/admission tables plus an epoch-stamped class table
+//!   for hot reconfiguration without restart.
+//!
+//! The Eq. 17 allocation primitive itself
+//! ([`crate::allocation::psd_rates_clamped`]) is only ever *called*
+//! from inside this module — everything outside (server monitor, desim
+//! engine, load drivers) goes through a [`RateController`].
+
+pub mod admission;
+mod admit;
+pub mod feedback;
+mod kind;
+pub mod open;
+mod shared;
+
+pub use admission::{admission_probabilities, AdmissionDecision};
+pub use admit::Admitting;
+pub use feedback::{FeedbackParams, FeedbackPsdController};
+pub use kind::{build_controller, ControllerKind};
+pub use open::{ControllerParams, HeterogeneousPsdController, PsdController};
+pub use psd_control::{ControlDirective, RateController, StaticRates, WindowObservation};
+pub use shared::{ClassTable, SharedControl};

@@ -1,10 +1,11 @@
-//! [`PsdController`] — the online rate allocator of the paper: a
-//! [`LoadEstimator`] feeding [`crate::allocation::psd_rates_clamped`],
-//! re-run at every control tick of the simulator.
+//! [`PsdController`] — the paper's **open-loop** online rate allocator:
+//! a [`LoadEstimator`] feeding [`crate::allocation::psd_rates_clamped`],
+//! re-run at every control tick of whichever host drives it (the desim
+//! engine or the live server monitor).
 
 use crate::allocation::psd_rates_clamped;
 use crate::estimator::LoadEstimator;
-use psd_desim::{RateController, WindowObservation};
+use psd_control::{RateController, WindowObservation};
 
 /// Tuning knobs for the online controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +179,7 @@ mod tests {
             end: dur,
             arrivals,
             arrived_work: vec![0.0; n],
+            shed_work: vec![0.0; n],
             completions: vec![0; n],
             backlog: vec![0; n],
             slowdown_sums: vec![0.0; n],

@@ -1,0 +1,277 @@
+//! [`SharedControl`] — the runtime surface of the control plane: the
+//! piece the server's monitor thread, its submit paths and its admin
+//! endpoints all share.
+//!
+//! Three access patterns, three costs:
+//!
+//! * **submit path** (hottest, every request): one relaxed atomic load
+//!   of the class's admission probability — and only when a class is
+//!   actually being shed, a counter-based deterministic uniform draw.
+//! * **monitor** (once per control window): reads the epoch-stamped
+//!   [`ClassTable`], rebuilds its controller when the epoch moved, and
+//!   [`SharedControl::publish`]es the directive's rates and admission
+//!   probabilities as raw `f64` bit patterns in `AtomicU64`s.
+//! * **admin surface** (rare): [`SharedControl::update`] mutates the
+//!   class table under its mutex and bumps the epoch.
+//!
+//! # Epoch ordering (hot reconfiguration)
+//!
+//! [`SharedControl::update`] bumps [`SharedControl::epoch`]
+//! *immediately* (so `GET /config` reflects the accepted change), but
+//! the change only *takes effect* at the next control-window boundary:
+//! the monitor compares `epoch()` against its last-seen value, rebuilds
+//! the controller stack from [`SharedControl::table`] (estimator
+//! history restarts — a reconfigured controller is a new controller),
+//! and its next [`SharedControl::publish`] stamps
+//! [`SharedControl::applied_epoch`]. Until that publish, requests keep
+//! being admitted and scheduled under the previous epoch's tables —
+//! there is never a torn state where new δ's run against old admission
+//! probabilities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::control::kind::ControllerKind;
+
+/// The epoch-stamped, hot-swappable configuration of the control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassTable {
+    /// Differentiation parameters, one per class (class 0 highest). The
+    /// class *count* is fixed at construction; only the values swap.
+    pub deltas: Vec<f64>,
+    /// Integral gain of the feedback controller (ignored by `open`).
+    pub gain: f64,
+    /// Target admitted utilization, `None` = no admission control.
+    pub admission_cap: Option<f64>,
+    /// Which controller family drives the rates.
+    pub controller: ControllerKind,
+    /// Monotonic epoch: 0 at start, +1 per accepted [`SharedControl::update`].
+    pub epoch: u64,
+}
+
+impl ClassTable {
+    fn validate(&self, n: usize) -> Result<(), String> {
+        if self.deltas.len() != n {
+            return Err(format!("expected {n} deltas, got {}", self.deltas.len()));
+        }
+        if !self.deltas.iter().all(|d| d.is_finite() && *d > 0.0) {
+            return Err("deltas must be positive and finite".into());
+        }
+        if !(self.gain.is_finite() && self.gain >= 0.0) {
+            return Err("gain must be finite and >= 0".into());
+        }
+        if let Some(cap) = self.admission_cap {
+            if !(cap > 0.0 && cap < 1.0) {
+                return Err(format!("admission cap must be in (0,1), got {cap}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+const ONE_BITS: u64 = 0x3FF0_0000_0000_0000; // 1.0f64.to_bits()
+
+/// SplitMix64 finalizer mapped to `[0, 1)` — the admission draw.
+fn splitmix_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct SharedControl {
+    table: Mutex<ClassTable>,
+    epoch: AtomicU64,
+    applied_epoch: AtomicU64,
+    /// Published per-class rates, as `f64` bit patterns.
+    rates: Vec<AtomicU64>,
+    /// Published per-class admission probabilities, as `f64` bits.
+    admit: Vec<AtomicU64>,
+    /// Draw counter feeding the SplitMix64 admission stream.
+    seq: AtomicU64,
+}
+
+impl SharedControl {
+    /// A control surface for `table.deltas.len()` classes; rates start
+    /// at an even split and every class fully admitted. `table.epoch`
+    /// is forced to 0.
+    pub fn new(mut table: ClassTable) -> Self {
+        let n = table.deltas.len();
+        assert!(n > 0, "at least one class");
+        table.epoch = 0;
+        table.validate(n).expect("initial class table must be valid");
+        let even = (1.0 / n as f64).to_bits();
+        Self {
+            table: Mutex::new(table),
+            epoch: AtomicU64::new(0),
+            applied_epoch: AtomicU64::new(0),
+            rates: (0..n).map(|_| AtomicU64::new(even)).collect(),
+            admit: (0..n).map(|_| AtomicU64::new(ONE_BITS)).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of classes (fixed for the lifetime of the surface).
+    pub fn n_classes(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Snapshot of the current class table.
+    pub fn table(&self) -> ClassTable {
+        self.table.lock().expect("table lock").clone()
+    }
+
+    /// Latest *requested* configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Latest epoch the monitor has *applied* (published under).
+    pub fn applied_epoch(&self) -> u64 {
+        self.applied_epoch.load(Ordering::Acquire)
+    }
+
+    /// Mutate the class table: `f` edits a copy, which is validated and
+    /// committed with a bumped epoch. Returns the new epoch, or the
+    /// validation error (table unchanged).
+    pub fn update(&self, f: impl FnOnce(&mut ClassTable)) -> Result<u64, String> {
+        let mut g = self.table.lock().expect("table lock");
+        let mut next = g.clone();
+        f(&mut next);
+        next.validate(self.rates.len())?;
+        next.epoch = g.epoch + 1;
+        let epoch = next.epoch;
+        *g = next;
+        self.epoch.store(epoch, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Publish a control decision: the rates in force and the admission
+    /// probabilities (`None` = admit everything), stamped with the
+    /// table epoch the deciding controller was built from.
+    pub fn publish(&self, epoch: u64, rates: &[f64], admit: Option<&[f64]>) {
+        assert_eq!(rates.len(), self.rates.len(), "class count mismatch");
+        for (slot, &r) in self.rates.iter().zip(rates) {
+            slot.store(r.to_bits(), Ordering::Relaxed);
+        }
+        match admit {
+            None => {
+                for slot in &self.admit {
+                    slot.store(ONE_BITS, Ordering::Relaxed);
+                }
+            }
+            Some(p) => {
+                assert_eq!(p.len(), self.admit.len(), "class count mismatch");
+                for (slot, &pi) in self.admit.iter().zip(p) {
+                    slot.store(pi.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+        self.applied_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// The rates most recently published by the monitor.
+    pub fn rates(&self) -> Vec<f64> {
+        self.rates.iter().map(|r| f64::from_bits(r.load(Ordering::Relaxed))).collect()
+    }
+
+    /// The admission probabilities currently in force.
+    pub fn admit_probabilities(&self) -> Vec<f64> {
+        self.admit.iter().map(|p| f64::from_bits(p.load(Ordering::Relaxed))).collect()
+    }
+
+    /// One admission decision for a class-`class` request: `true` to
+    /// serve, `false` to shed. Fully-admitted classes cost a single
+    /// relaxed load; shedding classes add one counter increment and a
+    /// SplitMix64 draw (no locks anywhere).
+    pub fn admit(&self, class: usize) -> bool {
+        let class = class.min(self.admit.len() - 1);
+        let bits = self.admit[class].load(Ordering::Relaxed);
+        if bits == ONE_BITS {
+            return true;
+        }
+        let p = f64::from_bits(bits);
+        if p <= 0.0 {
+            return false;
+        }
+        splitmix_unit(self.seq.fetch_add(1, Ordering::Relaxed)) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(deltas: Vec<f64>) -> ClassTable {
+        ClassTable {
+            deltas,
+            gain: 0.3,
+            admission_cap: None,
+            controller: ControllerKind::Open,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn starts_even_and_fully_admitting() {
+        let c = SharedControl::new(table(vec![1.0, 2.0]));
+        assert_eq!(c.n_classes(), 2);
+        assert_eq!(c.rates(), vec![0.5, 0.5]);
+        assert_eq!(c.admit_probabilities(), vec![1.0, 1.0]);
+        assert!(c.admit(0) && c.admit(1));
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.applied_epoch(), 0);
+    }
+
+    #[test]
+    fn update_bumps_epoch_and_validates() {
+        let c = SharedControl::new(table(vec![1.0, 2.0]));
+        let e = c.update(|t| t.deltas = vec![2.0, 1.0]).expect("valid swap");
+        assert_eq!(e, 1);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.table().deltas, vec![2.0, 1.0]);
+        assert_eq!(c.applied_epoch(), 0, "not applied until the monitor publishes");
+
+        let err = c.update(|t| t.deltas = vec![1.0]).unwrap_err();
+        assert!(err.contains("expected 2 deltas"), "{err}");
+        assert_eq!(c.epoch(), 1, "rejected update leaves the epoch alone");
+        let err = c.update(|t| t.admission_cap = Some(1.5)).unwrap_err();
+        assert!(err.contains("admission cap"), "{err}");
+        let err = c.update(|t| t.gain = -1.0).unwrap_err();
+        assert!(err.contains("gain"), "{err}");
+    }
+
+    #[test]
+    fn publish_stamps_applied_epoch() {
+        let c = SharedControl::new(table(vec![1.0, 2.0]));
+        c.update(|t| t.gain = 0.5).unwrap();
+        c.publish(1, &[0.7, 0.3], Some(&[1.0, 0.25]));
+        assert_eq!(c.applied_epoch(), 1);
+        assert_eq!(c.rates(), vec![0.7, 0.3]);
+        assert_eq!(c.admit_probabilities(), vec![1.0, 0.25]);
+        // Publishing `None` restores full admission.
+        c.publish(1, &[0.7, 0.3], None);
+        assert_eq!(c.admit_probabilities(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn admission_draw_tracks_probability() {
+        let c = SharedControl::new(table(vec![1.0, 2.0]));
+        c.publish(0, &[0.5, 0.5], Some(&[1.0, 0.25]));
+        let admitted = (0..40_000).filter(|_| c.admit(1)).count() as f64 / 40_000.0;
+        assert!((admitted - 0.25).abs() < 0.02, "admitted fraction {admitted}");
+        assert!((0..100).all(|_| c.admit(0)), "protected class never sheds");
+        c.publish(0, &[0.5, 0.5], Some(&[1.0, 0.0]));
+        assert!((0..100).all(|_| !c.admit(1)), "p = 0 sheds everything");
+    }
+
+    #[test]
+    fn out_of_range_class_clamps_like_the_submit_path() {
+        let c = SharedControl::new(table(vec![1.0, 2.0]));
+        c.publish(0, &[0.5, 0.5], Some(&[1.0, 0.0]));
+        assert!(!c.admit(99), "clamped to the last (shedding) class");
+    }
+}

@@ -13,8 +13,13 @@
 //!   controllability properties, and feasibility checks.
 //! * [`estimator`] — the windowed load estimator (paper §4.1: the load
 //!   for the next window is the average over the past five windows).
-//! * [`controller`] — [`PsdController`], gluing estimator + allocator
-//!   into a [`psd_desim::RateController`] re-run every control window.
+//! * [`control`] — the unified control plane: the shared
+//!   [`control::RateController`] contract (re-exported from
+//!   `psd-control`), the open-loop [`PsdController`], the
+//!   slowdown-feedback extension, admission shedding and the
+//!   hot-reconfigurable [`control::SharedControl`] runtime surface —
+//!   the same objects drive the desim engine and the live
+//!   `psd-server` monitor.
 //! * [`baselines`] — comparison allocators: static-equal,
 //!   load-proportional, a backlog-proportional PDD-style allocator, and
 //!   strict priority. None of them achieves PSD; the benches show it.
@@ -41,22 +46,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod admission;
 pub mod allocation;
 pub mod baselines;
 pub mod config;
-pub mod controller;
+pub mod control;
 pub mod estimator;
 pub mod experiment;
-pub mod feedback;
 pub mod model;
 pub mod report;
 pub mod simulation;
 
+// Compatibility aliases for the pre-`control` module layout: the
+// controller stack now lives under [`control`], but the old paths
+// (`psd_core::controller`, `psd_core::feedback`, `psd_core::admission`)
+// keep resolving.
+pub use control::admission;
+pub use control::feedback;
+pub use control::open as controller;
+
 pub use allocation::{psd_rates, psd_rates_heterogeneous, AllocationError};
 pub use config::{ClassConfig, PsdConfig};
-pub use controller::PsdController;
+pub use control::{FeedbackPsdController, PsdController};
 pub use estimator::LoadEstimator;
-pub use feedback::FeedbackPsdController;
 pub use model::PsdModel;
 pub use report::{ClassReport, PsdReport};

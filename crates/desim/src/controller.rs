@@ -1,173 +1,12 @@
 //! The rate-controller interface between the simulator and the PSD
-//! allocation strategy (implemented in `psd-core`).
+//! allocation strategy.
 //!
-//! Every control period the engine closes an observation window and
-//! hands it to the controller, which may return a fresh rate vector.
-//! This mirrors the paper's split between the *load estimator* (inputs)
-//! and the *rate allocator* (Eq. 17), re-run every 1000 time units.
+//! The contract itself ([`RateController`], [`WindowObservation`],
+//! [`ControlDirective`], [`StaticRates`]) was extracted into the
+//! dependency-free `psd-control` crate so the exact same controller
+//! objects drive this simulator *and* the live `psd-server` monitor;
+//! this module re-exports it unchanged for backwards compatibility.
+//! The concrete controllers (open-loop Eq. 17, slowdown feedback,
+//! admission composition) live in `psd_core::control`.
 
-/// What the load estimator gets to see about the window just ended.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WindowObservation {
-    /// Index of the window (0-based since simulation start).
-    pub index: u64,
-    /// Window start time.
-    pub start: f64,
-    /// Window end time (the control instant).
-    pub end: f64,
-    /// Per-class arrival counts inside the window.
-    pub arrivals: Vec<u64>,
-    /// Per-class sum of arrived work (full-rate sizes) inside the window.
-    pub arrived_work: Vec<f64>,
-    /// Per-class completions inside the window.
-    pub completions: Vec<u64>,
-    /// Per-class backlog (queued + in service) at the control instant.
-    pub backlog: Vec<u64>,
-    /// Per-class sum of slowdowns of this window's departures (divide by
-    /// `completions` for the mean — see [`Self::mean_slowdowns`]).
-    pub slowdown_sums: Vec<f64>,
-}
-
-impl WindowObservation {
-    /// Observed per-class arrival rate over this window.
-    pub fn arrival_rates(&self) -> Vec<f64> {
-        let dur = (self.end - self.start).max(f64::MIN_POSITIVE);
-        self.arrivals.iter().map(|&a| a as f64 / dur).collect()
-    }
-
-    /// Observed per-class offered load (work per time) over this window.
-    pub fn offered_loads(&self) -> Vec<f64> {
-        let dur = (self.end - self.start).max(f64::MIN_POSITIVE);
-        self.arrived_work.iter().map(|&w| w / dur).collect()
-    }
-
-    /// Mean slowdown of each class's departures in this window (`None`
-    /// for classes with no departures).
-    pub fn mean_slowdowns(&self) -> Vec<Option<f64>> {
-        self.slowdown_sums
-            .iter()
-            .zip(&self.completions)
-            .map(|(&s, &c)| (c > 0).then(|| s / c as f64))
-            .collect()
-    }
-}
-
-/// A strategy that assigns processing rates to the task servers.
-pub trait RateController {
-    /// Rates to use from time 0 until the first control tick. Must have
-    /// length `n_classes`; entries must be ≥ 0 and sum to ≤ 1 + ε.
-    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64>;
-
-    /// Called at every control tick with the window just observed.
-    /// Return `Some(rates)` to re-allocate or `None` to keep the current
-    /// assignment.
-    fn reallocate(&mut self, now: f64, window: &WindowObservation) -> Option<Vec<f64>>;
-}
-
-/// A controller that never re-allocates: fixed rates for the whole run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StaticRates {
-    rates: Vec<f64>,
-}
-
-impl StaticRates {
-    /// Fixed rate vector (must be non-empty, entries ≥ 0, sum ≤ 1 + ε).
-    pub fn new(rates: Vec<f64>) -> Self {
-        assert!(!rates.is_empty(), "StaticRates needs at least one class");
-        let sum: f64 = rates.iter().sum();
-        assert!(rates.iter().all(|&r| r >= 0.0), "rates must be non-negative");
-        assert!(sum <= 1.0 + 1e-9, "rates sum to {sum} > 1");
-        Self { rates }
-    }
-
-    /// Capacity split evenly over `n` classes.
-    pub fn even(n: usize) -> Self {
-        assert!(n > 0);
-        Self { rates: vec![1.0 / n as f64; n] }
-    }
-}
-
-impl RateController for StaticRates {
-    fn initial_rates(&mut self, n_classes: usize) -> Vec<f64> {
-        assert_eq!(n_classes, self.rates.len(), "class count mismatch");
-        self.rates.clone()
-    }
-
-    fn reallocate(&mut self, _now: f64, _window: &WindowObservation) -> Option<Vec<f64>> {
-        None
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn window_rates() {
-        let w = WindowObservation {
-            index: 3,
-            start: 3000.0,
-            end: 4000.0,
-            arrivals: vec![500, 1000],
-            arrived_work: vec![150.0, 290.0],
-            completions: vec![498, 1001],
-            backlog: vec![2, 0],
-            slowdown_sums: vec![996.0, 500.5],
-        };
-        let r = w.arrival_rates();
-        assert!((r[0] - 0.5).abs() < 1e-12);
-        assert!((r[1] - 1.0).abs() < 1e-12);
-        let l = w.offered_loads();
-        assert!((l[0] - 0.15).abs() < 1e-12);
-        let s = w.mean_slowdowns();
-        assert!((s[0].unwrap() - 2.0).abs() < 1e-12);
-        assert!((s[1].unwrap() - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn mean_slowdowns_none_for_empty_class() {
-        let w = WindowObservation {
-            index: 0,
-            start: 0.0,
-            end: 1.0,
-            arrivals: vec![0, 5],
-            arrived_work: vec![0.0, 2.0],
-            completions: vec![0, 4],
-            backlog: vec![0, 1],
-            slowdown_sums: vec![0.0, 6.0],
-        };
-        let s = w.mean_slowdowns();
-        assert_eq!(s[0], None);
-        assert_eq!(s[1], Some(1.5));
-    }
-
-    #[test]
-    fn static_rates_basics() {
-        let mut c = StaticRates::even(4);
-        let r = c.initial_rates(4);
-        assert_eq!(r, vec![0.25; 4]);
-        let w = WindowObservation {
-            index: 0,
-            start: 0.0,
-            end: 1.0,
-            arrivals: vec![0; 4],
-            arrived_work: vec![0.0; 4],
-            completions: vec![0; 4],
-            backlog: vec![0; 4],
-            slowdown_sums: vec![0.0; 4],
-        };
-        assert!(c.reallocate(1.0, &w).is_none());
-    }
-
-    #[test]
-    #[should_panic(expected = "sum")]
-    fn static_rates_rejects_oversubscription() {
-        StaticRates::new(vec![0.7, 0.7]);
-    }
-
-    #[test]
-    #[should_panic(expected = "class count mismatch")]
-    fn static_rates_class_count_checked() {
-        StaticRates::even(2).initial_rates(3);
-    }
-}
+pub use psd_control::{ControlDirective, RateController, StaticRates, WindowObservation};

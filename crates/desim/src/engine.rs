@@ -196,6 +196,7 @@ impl Simulation {
                         end: now,
                         arrivals: std::mem::take(&mut win_arrivals),
                         arrived_work: std::mem::take(&mut win_work),
+                        shed_work: vec![0.0; n],
                         completions: std::mem::take(&mut win_completions),
                         slowdown_sums: std::mem::take(&mut win_slowdown_sums),
                         backlog: classes
@@ -210,7 +211,13 @@ impl Simulation {
                     window_index += 1;
                     window_start = now;
 
-                    if let Some(rates) = self.controller.reallocate(now, &obs) {
+                    // The unified control entry point — the same call
+                    // the live server's monitor makes. The simulator
+                    // has no admission path, so a directive's
+                    // `admit_probability` is ignored here (shedding is
+                    // exercised end-to-end by `psd-server`/`psd-loadgen`).
+                    let directive = self.controller.control(now, &obs);
+                    if let Some(rates) = directive.rates {
                         validate_rates(&rates, n);
                         for (i, state) in classes.iter_mut().enumerate() {
                             if let Some((t, epoch)) = state.server.set_rate(rates[i], now) {

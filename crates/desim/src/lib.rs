@@ -51,7 +51,7 @@ mod server;
 pub mod session;
 mod trace;
 
-pub use controller::{RateController, StaticRates, WindowObservation};
+pub use controller::{ControlDirective, RateController, StaticRates, WindowObservation};
 pub use engine::{ClassSpec, SimConfig, Simulation};
 pub use generator::ArrivalSpec;
 pub use metrics::{ClassMetrics, SimOutput, WindowStat};

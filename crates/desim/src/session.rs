@@ -203,6 +203,7 @@ pub fn run_sessions(cfg: SessionConfig, mut controller: Box<dyn RateController>)
                     end: now,
                     arrivals: std::mem::take(&mut win_arrivals),
                     arrived_work: std::mem::take(&mut win_work),
+                    shed_work: vec![0.0; n],
                     completions: std::mem::take(&mut win_completions),
                     backlog: (0..n)
                         .map(|c| queues[c].len() as u64 + u64::from(servers[c].is_busy()))

@@ -5,11 +5,13 @@
 //! psd_loadtest [--scenario steady] [--duration 10s] [--warmup 3s]
 //!              [--connections 64] [--rate R] [--deltas 1,2]
 //!              [--workers W] [--engine threads|reactor] [--shards N]
-//!              [--work-unit-us U] [--seed N]
+//!              [--controller open|feedback] [--gain G]
+//!              [--admission-cap C] [--work-unit-us U] [--seed N]
 //!              [--json PATH] [--check MAX_DEV] [--list]
 //!
 //!   --scenario     steady | burst | flashcrowd | stepload |
-//!                  classmix-shift | closed        (default: steady)
+//!                  classmix-shift | closed | overload | reconfig
+//!                  (default: steady)
 //!   --duration     total run length, e.g. 10s / 1500ms (incl. warmup)
 //!   --warmup       leading window excluded from statistics
 //!   --connections  connection pool size (open) / sessions (closed)
@@ -20,6 +22,14 @@
 //!                  reactor (epoll event loop)   (default: threads)
 //!   --shards       reactor event-loop shard count
 //!                  (default: min(cores, 4); threads engine ignores)
+//!   --controller   rate-controller family driving the monitor: open
+//!                  (Eq. 17) or feedback (slowdown integral loop);
+//!                  gain 0 makes feedback identical to open
+//!   --gain         feedback integral gain (default 0.3)
+//!   --admission-cap
+//!                  target admitted utilization in (0,1): sheds the
+//!                  lowest classes (503 + X-Shed) once the offered
+//!                  load exceeds it (default: no admission control)
 //!   --work-unit-us wall-clock µs per work unit — scales the machine
 //!                  rate, e.g. 300 doubles capacity vs the stock 600
 //!   --control-window-ms
@@ -36,7 +46,7 @@ use std::time::Duration;
 
 use psd_loadgen::scenario::ArrivalSpec;
 use psd_loadgen::{harness, LoadMode, Scenario};
-use psd_server::EngineKind;
+use psd_server::{ControllerKind, EngineKind};
 
 fn main() {
     let mut name = "steady".to_string();
@@ -48,6 +58,9 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut engine: Option<EngineKind> = None;
     let mut shards: Option<usize> = None;
+    let mut controller: Option<ControllerKind> = None;
+    let mut gain: Option<f64> = None;
+    let mut admission_cap: Option<f64> = None;
     let mut work_unit_us: Option<u64> = None;
     let mut control_window_ms: Option<u64> = None;
     let mut seed: Option<u64> = None;
@@ -119,6 +132,30 @@ fn main() {
                         .unwrap_or_else(|| die("--shards needs a positive integer")),
                 );
             }
+            "--controller" => {
+                controller = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(ControllerKind::parse)
+                        .unwrap_or_else(|| die("--controller needs 'open' or 'feedback'")),
+                );
+            }
+            "--gain" => {
+                gain = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&g: &f64| g >= 0.0 && g.is_finite())
+                        .unwrap_or_else(|| die("--gain needs a number >= 0")),
+                );
+            }
+            "--admission-cap" => {
+                admission_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&c: &f64| c > 0.0 && c < 1.0)
+                        .unwrap_or_else(|| die("--admission-cap needs a value in (0,1)")),
+                );
+            }
             "--work-unit-us" => {
                 work_unit_us = Some(
                     args.next()
@@ -161,8 +198,10 @@ fn main() {
                 println!(
                     "usage: psd_loadtest [--scenario NAME] [--duration 10s] [--warmup 3s] \
                      [--connections N] [--rate R] [--deltas 1,2] [--workers W] \
-                     [--engine threads|reactor] [--shards N] [--work-unit-us U] \
-                     [--control-window-ms M] [--seed N] [--json PATH] [--check D] [--list]"
+                     [--engine threads|reactor] [--shards N] \
+                     [--controller open|feedback] [--gain G] [--admission-cap C] \
+                     [--work-unit-us U] [--control-window-ms M] [--seed N] \
+                     [--json PATH] [--check D] [--list]"
                 );
                 return;
             }
@@ -234,6 +273,15 @@ fn main() {
     if let Some(n) = shards {
         scenario.server.shards = n;
     }
+    if let Some(c) = controller {
+        scenario.server.controller = c;
+    }
+    if let Some(g) = gain {
+        scenario.server.gain = g;
+    }
+    if let Some(cap) = admission_cap {
+        scenario.server.admission_cap = Some(cap);
+    }
     if let Some(u) = work_unit_us {
         scenario.server.work_unit = Duration::from_micros(u);
     }
@@ -246,12 +294,15 @@ fn main() {
     scenario.validate();
 
     eprintln!(
-        "psd_loadtest: scenario '{}' for {:?} ({} connections, {} engine, {} shard(s))…",
+        "psd_loadtest: scenario '{}' for {:?} ({} connections, {} engine, {} shard(s), \
+         {} controller{})…",
         scenario.name,
         scenario.duration,
         scenario.connections,
         scenario.server.engine.as_str(),
-        scenario.server.shards
+        scenario.server.shards,
+        scenario.server.controller.as_str(),
+        scenario.server.admission_cap.map(|c| format!(", admission cap {c}")).unwrap_or_default()
     );
     let out = harness::run_scenario(&scenario)
         .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));

@@ -17,6 +17,10 @@ pub struct Exchange {
     /// The server announced `Connection: close` — the response itself
     /// is valid, but the connection must not be reused.
     pub closed: bool,
+    /// The server shed this request at admission (`X-Shed: 1`): not a
+    /// failure, but deliberate overload control — accounted separately
+    /// from errors by the generator.
+    pub shed: bool,
 }
 
 impl Exchange {
@@ -65,6 +69,7 @@ impl Connection {
         let mut slowdown = None;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut shed = false;
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
@@ -83,6 +88,8 @@ impl Connection {
                     content_length = value.parse().unwrap_or(0);
                 } else if name.eq_ignore_ascii_case("connection") {
                     close = value.eq_ignore_ascii_case("close");
+                } else if name.eq_ignore_ascii_case("x-shed") {
+                    shed = value == "1";
                 }
             }
         }
@@ -99,8 +106,26 @@ impl Connection {
         }
         // A close announcement does NOT invalidate this response — the
         // caller records it normally and reconnects before the next one.
-        Ok(Exchange { status, slowdown, closed: close })
+        Ok(Exchange { status, slowdown, closed: close, shed })
     }
+}
+
+/// Issue one `PUT /config?{query}` against the server's admin endpoint
+/// on a fresh connection (e.g. `query = "deltas=2,1"`) and return the
+/// status code — the generator's hot-reconfiguration trigger.
+pub fn put_config(addr: SocketAddr, query: &str, timeout: Duration) -> io::Result<u16> {
+    let mut conn = Connection::connect(addr, timeout)?;
+    let head = format!("PUT /config?{query} HTTP/1.1\r\nConnection: close\r\n\r\n");
+    conn.writer.write_all(head.as_bytes())?;
+    let mut status_line = String::new();
+    if conn.reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+    }
+    status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))
 }
 
 #[cfg(test)]

@@ -27,6 +27,76 @@ const MIN_COST: f64 = 0.05;
 /// the exchange failed.
 const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Width of the convergence-tracking windows behind the report's
+/// `time_to_band_s` metric: measured slowdowns are bucketed into
+/// windows of this duration so the per-class slowdown-ratio
+/// *trajectory* (not just the run mean) is observable.
+pub const BAND_WINDOW: Duration = Duration::from_millis(500);
+
+/// Per-class slowdown means bucketed by [`BAND_WINDOW`] — mergeable
+/// across workers, queried per window by the report's time-to-band
+/// computation.
+#[derive(Debug, Clone, Default)]
+pub struct WindowSeries {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl WindowSeries {
+    /// Record one slowdown at `at` (time since run start).
+    pub fn record(&mut self, at: Duration, slowdown: f64) {
+        let idx = (at.as_nanos() / BAND_WINDOW.as_nanos()) as usize;
+        if self.sums.len() <= idx {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += slowdown;
+        self.counts[idx] += 1;
+    }
+
+    /// Element-wise merge.
+    pub fn merge(&mut self, other: &WindowSeries) {
+        if self.sums.len() < other.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, (&s, &c)) in other.sums.iter().zip(&other.counts).enumerate() {
+            self.sums[i] += s;
+            self.counts[i] += c;
+        }
+    }
+
+    /// Number of windows touched so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Mean slowdown of window `idx` (`None` when it saw no data).
+    pub fn mean(&self, idx: usize) -> Option<f64> {
+        let c = *self.counts.get(idx)?;
+        (c > 0).then(|| self.sums[idx] / c as f64)
+    }
+
+    /// Pooled mean over the window range `lo..=hi` (count-weighted —
+    /// the statistically meaningful smoothing for band judgements on a
+    /// heavy-tailed slowdown distribution, where single-window means
+    /// bounce by ±3×). `None` when the range saw no data.
+    pub fn mean_range(&self, lo: usize, hi: usize) -> Option<f64> {
+        let hi = hi.min(self.sums.len().saturating_sub(1));
+        let (mut sum, mut count) = (0.0, 0u64);
+        for w in lo..=hi {
+            sum += self.sums.get(w).copied().unwrap_or(0.0);
+            count += self.counts.get(w).copied().unwrap_or(0);
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+}
+
 /// One scheduled request of the open-loop plan.
 #[derive(Debug, Clone, Copy)]
 struct Job {
@@ -77,13 +147,22 @@ pub struct ClassCounters {
     pub sent: u64,
     /// 2xx responses, whole run.
     pub ok: u64,
-    /// Non-2xx responses plus transport failures, whole run.
+    /// Non-2xx responses plus transport failures, whole run. A shed
+    /// response that violates the shed contract (not `503` or not
+    /// `Connection: close`) counts here, not in `shed`.
     pub errors: u64,
+    /// Requests shed by admission control (`503` + `X-Shed: 1` +
+    /// `Connection: close`), whole run — deliberate overload control,
+    /// accounted separately from `errors`.
+    pub shed: u64,
     /// Latencies of 2xx responses inside the measurement window, in
     /// microseconds (open loop: from the intended arrival instant).
     pub latency_us: LogHistogram,
     /// Server-reported `X-Slowdown` of measured 2xx responses.
     pub slowdown: Welford,
+    /// Slowdowns bucketed into [`BAND_WINDOW`]s over the whole run —
+    /// the trajectory behind the report's `time_to_band_s`.
+    pub windows: WindowSeries,
 }
 
 impl ClassCounters {
@@ -91,8 +170,10 @@ impl ClassCounters {
         self.sent += other.sent;
         self.ok += other.ok;
         self.errors += other.errors;
+        self.shed += other.shed;
         self.latency_us.merge(&other.latency_us);
         self.slowdown.merge(&other.slowdown);
+        self.windows.merge(&other.windows);
     }
 }
 
@@ -133,23 +214,33 @@ fn pick_class(weights: &[f64], rng: &mut Xoshiro256pp) -> usize {
 }
 
 /// Record one finished exchange into `c`. A 2xx response counts even
-/// when the server announced `Connection: close` alongside it.
+/// when the server announced `Connection: close` alongside it; `at` is
+/// the request's time since run start (intended instant in open loop),
+/// and responses before `warmup` are excluded from the measured
+/// statistics but still feed the trajectory windows.
 fn record(
     c: &mut ClassCounters,
     outcome: &std::io::Result<Exchange>,
     latency: Duration,
-    in_window: bool,
+    at: Duration,
+    warmup: Duration,
 ) {
     match outcome {
         Ok(ex) if ex.ok() => {
             c.ok += 1;
-            if in_window {
+            if let Some(s) = ex.slowdown {
+                c.windows.record(at, s);
+            }
+            if at >= warmup {
                 c.latency_us.record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
                 if let Some(s) = ex.slowdown {
                     c.slowdown.push(s);
                 }
             }
         }
+        // The shed contract: 503, tagged, and closing. Anything tagged
+        // `X-Shed` that breaks the contract is a server bug — an error.
+        Ok(ex) if ex.shed && ex.status == 503 && ex.closed => c.shed += 1,
         Ok(_) | Err(_) => c.errors += 1,
     }
 }
@@ -184,15 +275,61 @@ fn new_counters(n: usize) -> Vec<ClassCounters> {
 }
 
 /// Run `scenario` against a server listening on `addr`; blocks until
-/// the run completes and every worker joined.
+/// the run completes and every worker joined. A `reconfig` spec fires
+/// its `PUT /config` from a dedicated timer thread at the configured
+/// instant (wall clock, not the generator's look-ahead schedule); a
+/// failed or rejected reconfiguration fails the whole run.
 pub fn run(addr: SocketAddr, scenario: &Scenario) -> std::io::Result<GenStats> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     scenario.validate();
-    match &scenario.mode {
+    // The timer is cancellable: a run that dies early must not sit out
+    // the remaining sleep (and then PUT against a dead server) before
+    // the caller sees the failure. Returns whether the PUT fired.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let reconfig = scenario.reconfig.clone().map(|spec| {
+        let fire_at = scenario.duration.mul_f64(spec.at_frac);
+        let cancel = Arc::clone(&cancel);
+        thread::spawn(move || -> std::io::Result<bool> {
+            let deadline = Instant::now() + fire_at;
+            loop {
+                if cancel.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                thread::sleep((deadline - now).min(Duration::from_millis(50)));
+            }
+            let deltas = spec.deltas.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+            let status =
+                crate::client::put_config(addr, &format!("deltas={deltas}"), EXCHANGE_TIMEOUT)?;
+            if status != 200 {
+                return Err(std::io::Error::other(format!("PUT /config answered {status}")));
+            }
+            Ok(true)
+        })
+    });
+    let stats = match &scenario.mode {
         LoadMode::Open { .. } => run_open(addr, scenario),
         LoadMode::Closed { sessions, mean_think } => {
             run_closed(addr, scenario, *sessions, *mean_think)
         }
+    };
+    cancel.store(true, Ordering::Relaxed);
+    let reconfig_outcome = reconfig.map(|h| h.join().expect("reconfig thread panicked"));
+    // The run's own failure is the primary diagnosis — a PUT that then
+    // failed against the dead server must not mask it.
+    let stats = stats?;
+    if let Some(outcome) = reconfig_outcome {
+        if !outcome? {
+            return Err(std::io::Error::other(
+                "run finished before the reconfig instant — the δ flip never fired",
+            ));
+        }
     }
+    Ok(stats)
 }
 
 fn run_open(addr: SocketAddr, scenario: &Scenario) -> std::io::Result<GenStats> {
@@ -223,7 +360,7 @@ fn run_open(addr: SocketAddr, scenario: &Scenario) -> std::io::Result<GenStats> 
                 c.sent += 1;
                 let outcome = conn.exchange(job.class, job.cost);
                 let latency = start.elapsed().saturating_sub(job.intended);
-                record(c, &outcome, latency, job.intended >= warmup);
+                record(c, &outcome, latency, job.intended, warmup);
                 if let Some(died) = settle_connection(&mut conn, addr, &outcome) {
                     return (counters, died);
                 }
@@ -327,7 +464,7 @@ fn run_closed(
                 let sent_at = Instant::now();
                 let outcome = conn.exchange(class, cost);
                 let latency = sent_at.elapsed();
-                record(c, &outcome, latency, elapsed >= warmup);
+                record(c, &outcome, latency, elapsed, warmup);
                 if let Some(died) = settle_connection(&mut conn, addr, &outcome) {
                     return (counters, died);
                 }

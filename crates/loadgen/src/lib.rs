@@ -9,9 +9,12 @@
 //! Pieces:
 //!
 //! * [`scenario`] — the declarative [`Scenario`] catalog (`steady`,
-//!   `burst`, `flashcrowd`, `stepload`, `classmix-shift`, `closed`),
-//!   built on the arrival processes in `psd-dist::arrival` plus a
-//!   piecewise-rate Poisson for flash crowds.
+//!   `burst`, `flashcrowd`, `stepload`, `classmix-shift`, `closed`,
+//!   `overload`, `reconfig`), built on the arrival processes in
+//!   `psd-dist::arrival` plus a piecewise-rate Poisson for flash
+//!   crowds. `overload` offers ρ > 1 against an admission cap;
+//!   `reconfig` hot-swaps the δ's mid-run through the server's
+//!   `PUT /config` admin endpoint.
 //! * [`generator`] — the multi-threaded connection-worker pool:
 //!   open loop with coordinated-omission-corrected latencies (measured
 //!   from each request's *intended* arrival instant) or closed loop
@@ -19,8 +22,9 @@
 //! * [`histogram`] — a mergeable log-bucketed (HDR-style) latency
 //!   histogram: share-nothing per worker, folded after the run.
 //! * [`report`] — the [`LoadReport`] JSON/markdown schema with
-//!   per-class p50/p99/p999, throughput, mean slowdown and achieved
-//!   vs. target slowdown ratios, plus the CI gate
+//!   per-class p50/p99/p999, throughput, mean slowdown, achieved vs.
+//!   target slowdown ratios, shed counts, the controller kind and the
+//!   `time_to_band_s` convergence metric, plus the CI gate
 //!   [`LoadReport::check`].
 //! * [`harness`] — spawn the server in-process, run a scenario, drain
 //!   gracefully, return the report. The `psd_loadtest` binary is a
@@ -45,6 +49,7 @@ pub mod histogram;
 pub mod report;
 pub mod scenario;
 
+pub use generator::{WindowSeries, BAND_WINDOW};
 pub use histogram::LogHistogram;
-pub use report::{ClassReport, LatencySummary, LoadReport};
-pub use scenario::{ArrivalSpec, ClassMix, LoadMode, Scenario, ServerProfile};
+pub use report::{ClassReport, LatencySummary, LoadReport, BAND_TOLERANCE};
+pub use scenario::{ArrivalSpec, ClassMix, LoadMode, ReconfigSpec, Scenario, ServerProfile};

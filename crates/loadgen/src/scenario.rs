@@ -20,7 +20,7 @@ use std::time::Duration;
 use psd_dist::arrival::{ArrivalProcess, Mmpp2, PoissonProcess, StepPoisson};
 use psd_dist::rng::Xoshiro256pp;
 use psd_dist::{BoundedPareto, ServiceDist};
-use psd_server::{EngineKind, SchedulerKind, ServerConfig, Workload};
+use psd_server::{ControllerKind, EngineKind, SchedulerKind, ServerConfig, Workload};
 
 /// Piecewise-constant-rate Poisson process: segment `i` holds
 /// `rates[i]` until absolute time `ends[i]`; the last rate holds
@@ -219,6 +219,14 @@ pub struct ServerProfile {
     /// Reactor event-loop shards (`--shards` on the CLI; ignored by
     /// the threaded engine). Defaults to min(cores, 4).
     pub shards: usize,
+    /// Which controller family drives the server's monitor
+    /// (`--controller {open,feedback}`).
+    pub controller: ControllerKind,
+    /// Feedback integral gain (`--gain`; ignored by `open`).
+    pub gain: f64,
+    /// Target admitted utilization (`--admission-cap`); `None`
+    /// disables admission control.
+    pub admission_cap: Option<f64>,
 }
 
 impl Default for ServerProfile {
@@ -237,8 +245,24 @@ impl Default for ServerProfile {
             estimator_history: 5,
             engine: EngineKind::Threads,
             shards: psd_server::default_shards(),
+            controller: ControllerKind::Open,
+            gain: 0.3,
+            admission_cap: None,
         }
     }
+}
+
+/// A mid-run hot reconfiguration: at `at_frac` of the duration the
+/// generator issues `PUT /config?deltas=…` against the live server's
+/// admin endpoint, and the report's convergence metric
+/// (`time_to_band_s`) is measured against the *new* targets from that
+/// instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigSpec {
+    /// When to fire, as a fraction of the duration, in `(0, 1)`.
+    pub at_frac: f64,
+    /// The replacement differentiation parameters (same class count).
+    pub deltas: Vec<f64>,
 }
 
 /// A complete, declarative load-test description.
@@ -254,6 +278,9 @@ pub struct Scenario {
     /// If set, at `(frac, weights)` the mix weights are replaced —
     /// the `classmix-shift` scenario's knob.
     pub mix_shift: Option<(f64, Vec<f64>)>,
+    /// If set, the generator hot-swaps the server's δ's mid-run via the
+    /// admin endpoint — the `reconfig` scenario's knob.
+    pub reconfig: Option<ReconfigSpec>,
     /// Open or closed loop.
     pub mode: LoadMode,
     /// Total run length (includes warmup).
@@ -286,7 +313,16 @@ fn even_mix(n: usize) -> Vec<ClassMix> {
 impl Scenario {
     /// Names in the stock catalog, in presentation order.
     pub fn catalog() -> &'static [&'static str] {
-        &["steady", "burst", "flashcrowd", "stepload", "classmix-shift", "closed"]
+        &[
+            "steady",
+            "burst",
+            "flashcrowd",
+            "stepload",
+            "classmix-shift",
+            "closed",
+            "overload",
+            "reconfig",
+        ]
     }
 
     /// Look up a stock scenario by name.
@@ -303,6 +339,7 @@ impl Scenario {
             deltas: vec![1.0, 2.0],
             mix: even_mix(2),
             mix_shift: None,
+            reconfig: None,
             mode,
             duration: Duration::from_secs(20),
             warmup: Duration::from_secs(4),
@@ -354,6 +391,53 @@ impl Scenario {
             "closed" => {
                 Some(base(LoadMode::Closed { sessions: 64, mean_think: Duration::from_millis(50) }))
             }
+            "overload" => {
+                // Offered ρ ≈ 1.3 — Eq. 17 alone has no feasible
+                // solution here. The 0.9 admission cap restores
+                // feasibility by shedding the lowest class at the door
+                // (503 + Connection: close), so class 0 keeps its PSD
+                // band through the overload.
+                //
+                // The work unit is doubled (same dimensionless loads,
+                // half the request rate): an overload experiment whose
+                // *generator* needs more CPU than the server leaves
+                // the control plane measuring scheduler noise, not
+                // load. Connections are sized so the door actually
+                // sees ρ ≈ 1.3 — a small blocking pool would throttle
+                // the offered load to the completion rate and the
+                // admission controller would under-measure the
+                // overload.
+                let mut s = base(LoadMode::Open {
+                    arrival: ArrivalSpec::Steady { rate: 0.865 * base_rate },
+                });
+                s.connections = 128;
+                s.warmup = Duration::from_secs(8);
+                s.server.work_unit = Duration::from_micros(1200);
+                // A faster control window (estimator memory 1.5 s
+                // instead of 2.5 s) so admission engages before the
+                // overload transient piles a multi-second backlog that
+                // would take the whole run to drain at cap headroom.
+                s.server.control_window = Duration::from_millis(300);
+                s.server.admission_cap = Some(0.9);
+                Some(s)
+            }
+            "reconfig" => {
+                // δ = (1, 2) flips to (1, 1) at half time through the
+                // admin endpoint — the differentiation gap collapses
+                // *live*, no restart — and the report measures
+                // time-to-band against the new (equal-slowdown)
+                // targets from the flip instant. An equalizing flip is
+                // the robust probe: extreme δ ratios sit near the
+                // band edge on a real substrate (the M/G/1 "+1" term
+                // compresses achieved ratios toward 1), while the
+                // equal target lands mid-band once the controller has
+                // genuinely converged.
+                let mut s =
+                    base(LoadMode::Open { arrival: ArrivalSpec::Steady { rate: base_rate } });
+                s.reconfig = Some(ReconfigSpec { at_frac: 0.5, deltas: vec![1.0, 1.0] });
+                s.server.controller = ControllerKind::Feedback;
+                Some(s)
+            }
             _ => None,
         }
     }
@@ -376,6 +460,9 @@ impl Scenario {
             workload: self.server.workload,
             control_window: self.server.control_window,
             estimator_history: self.server.estimator_history,
+            controller: self.server.controller,
+            gain: self.server.gain,
+            admission_cap: self.server.admission_cap,
         }
     }
 
@@ -394,6 +481,15 @@ impl Scenario {
             assert_eq!(w.len(), self.mix.len(), "shifted mix length");
             assert!(w.iter().any(|&x| x > 0.0), "shifted mix needs some weight");
         }
+        if let Some(r) = &self.reconfig {
+            assert!((0.0..1.0).contains(&r.at_frac) && r.at_frac > 0.0, "reconfig frac in (0,1)");
+            assert_eq!(r.deltas.len(), self.deltas.len(), "reconfig deltas length");
+            assert!(r.deltas.iter().all(|&d| d.is_finite() && d > 0.0), "reconfig deltas positive");
+        }
+        if let Some(cap) = self.server.admission_cap {
+            assert!(cap > 0.0 && cap < 1.0, "admission cap in (0,1)");
+        }
+        assert!(self.server.gain >= 0.0 && self.server.gain.is_finite(), "gain must be >= 0");
         if let LoadMode::Closed { sessions, .. } = self.mode {
             assert!(sessions >= 1, "need at least one session");
         }

@@ -1,0 +1,212 @@
+//! The admin route family served by **both** front-end engines:
+//!
+//! | route | method | semantics |
+//! |---|---|---|
+//! | `/metrics` | `GET` | JSON snapshot: controller kind, epochs, published rates & admission probabilities, per-class completed/shed/backlog/mean-slowdown |
+//! | `/config`  | `GET` | JSON view of the epoch-stamped class table |
+//! | `/config`  | `PUT`/`POST` | hot reconfiguration via query parameters |
+//!
+//! `PUT /config` accepts any subset of:
+//!
+//! * `deltas=1,2,4` — swap the differentiation parameters (class count
+//!   is fixed; lengths must match);
+//! * `gain=0.5` — feedback integral gain;
+//! * `admission-cap=0.9` (alias `cap=`) — target admitted utilization,
+//!   or `admission-cap=off` to disable admission control;
+//! * `controller=open|feedback` — switch the controller family.
+//!
+//! The update is validated and committed atomically with a bumped
+//! epoch; it **takes effect at the next control-window boundary**, when
+//! the monitor rebuilds its controller and publishes under the new
+//! epoch (`applied_epoch` in the responses tracks that hand-over — see
+//! the epoch-ordering notes on `psd_core::control::SharedControl`).
+//! Invalid parameters answer `400` with an `{"error": …}` body and
+//! leave the table untouched.
+//!
+//! Responses are `application/json`; admin requests respect keep-alive
+//! like any other request. The routes are matched by
+//! [`crate::classify::admin_route`] *before* classification, so
+//! `/metrics` is never queued behind the PSD scheduler — you can
+//! observe an overloaded server while it sheds.
+
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+
+use crate::classify::{admin_route, AdminRoute};
+use crate::codec::{HttpRequest, Response};
+use crate::server::PsdServer;
+use psd_core::control::ControllerKind;
+
+/// Serve `req` if it targets an admin route. `keep_alive` is the
+/// connection policy the caller already decided (drain-aware).
+pub(crate) fn handle(server: &PsdServer, req: &HttpRequest, keep_alive: bool) -> Option<Response> {
+    let route = admin_route(&req.path)?;
+    Some(match (route, req.method.as_str()) {
+        (AdminRoute::Metrics, "GET") => json_response(req, keep_alive, 200, metrics_json(server)),
+        (AdminRoute::Config, "GET") => json_response(req, keep_alive, 200, config_json(server)),
+        (AdminRoute::Config, "PUT" | "POST") => match apply_config(server, req) {
+            Ok(()) => json_response(req, keep_alive, 200, config_json(server)),
+            Err(e) => {
+                json_response(req, keep_alive, 400, format!("{{\"error\":{}}}", json_str(&e)))
+            }
+        },
+        _ => json_response(req, keep_alive, 405, "{\"error\":\"method not allowed\"}".to_string()),
+    })
+}
+
+fn json_response(req: &HttpRequest, keep_alive: bool, status: u16, body: String) -> Response {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Method Not Allowed",
+    };
+    Response {
+        http11: req.http11,
+        status,
+        reason,
+        keep_alive,
+        extra_headers: vec![("Content-Type", "application/json".to_string())],
+        body: Bytes::from(body.into_bytes()),
+    }
+}
+
+/// Minimal JSON string escaping (error messages only contain ASCII
+/// from our own validation code, but stay safe anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64_array(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+fn table_fields(server: &PsdServer) -> String {
+    let control = server.control();
+    // Read `applied_epoch` *before* the table: both only ever increase
+    // and applied ≤ epoch holds at every instant, so this order keeps
+    // the reported pair consistent (reading the table first could race
+    // a PUT + window boundary into `applied_epoch > epoch`).
+    let applied = control.applied_epoch();
+    let t = control.table();
+    let cap = t.admission_cap.map_or("null".to_string(), |c| c.to_string());
+    format!(
+        "\"controller\":{},\"deltas\":{},\"gain\":{},\"admission_cap\":{cap},\
+         \"epoch\":{},\"applied_epoch\":{applied}",
+        json_str(t.controller.as_str()),
+        json_f64_array(&t.deltas),
+        t.gain,
+        t.epoch,
+    )
+}
+
+fn config_json(server: &PsdServer) -> String {
+    format!("{{{}}}", table_fields(server))
+}
+
+fn metrics_json(server: &PsdServer) -> String {
+    let control = server.control();
+    let stats = server.stats();
+    let mut classes = String::from("[");
+    for (i, c) in stats.classes.iter().enumerate() {
+        if i > 0 {
+            classes.push(',');
+        }
+        let _ = write!(
+            classes,
+            "{{\"class\":{i},\"completed\":{},\"shed\":{},\"backlog\":{},\
+             \"mean_delay_s\":{},\"mean_service_s\":{},\"mean_slowdown\":{}}}",
+            c.completed,
+            c.shed,
+            server.backlog(i),
+            c.mean_delay,
+            c.mean_service,
+            c.mean_slowdown,
+        );
+    }
+    classes.push(']');
+    format!(
+        "{{{},\"rates\":{},\"admit_probability\":{},\"classes\":{classes}}}",
+        table_fields(server),
+        json_f64_array(&control.rates()),
+        json_f64_array(&control.admit_probabilities()),
+    )
+}
+
+/// Parse the `PUT /config` query parameters and commit them as one
+/// epoch-bumping update.
+fn apply_config(server: &PsdServer, req: &HttpRequest) -> Result<(), String> {
+    let query = req.query.as_deref().unwrap_or("");
+    if query.is_empty() {
+        return Err("no parameters (try deltas=, gain=, admission-cap=, controller=)".to_string());
+    }
+    let mut deltas: Option<Vec<f64>> = None;
+    let mut gain: Option<f64> = None;
+    let mut cap: Option<Option<f64>> = None;
+    let mut kind: Option<ControllerKind> = None;
+    for kv in query.split('&').filter(|kv| !kv.is_empty()) {
+        let (key, value) = kv.split_once('=').ok_or_else(|| format!("bare parameter '{kv}'"))?;
+        match key {
+            "deltas" => {
+                let parsed: Result<Vec<f64>, _> =
+                    value.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                deltas = Some(parsed.map_err(|_| format!("bad deltas '{value}'"))?);
+            }
+            "gain" => {
+                gain = Some(value.parse().map_err(|_| format!("bad gain '{value}'"))?);
+            }
+            "admission-cap" | "admission_cap" | "cap" => {
+                cap = Some(match value {
+                    "off" | "none" | "null" => None,
+                    v => Some(v.parse().map_err(|_| format!("bad admission cap '{v}'"))?),
+                });
+            }
+            "controller" => {
+                kind = Some(
+                    ControllerKind::parse(value)
+                        .ok_or_else(|| format!("unknown controller '{value}'"))?,
+                );
+            }
+            other => return Err(format!("unknown parameter '{other}'")),
+        }
+    }
+    server
+        .control()
+        .update(|t| {
+            if let Some(d) = deltas {
+                t.deltas = d;
+            }
+            if let Some(g) = gain {
+                t.gain = g;
+            }
+            if let Some(c) = cap {
+                t.admission_cap = c;
+            }
+            if let Some(k) = kind {
+                t.controller = k;
+            }
+        })
+        .map(|_| ())
+}

@@ -4,6 +4,7 @@
 //! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
 //!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
 //!           [--engine threads|reactor] [--shards N]
+//!           [--controller open|feedback] [--gain G] [--admission-cap C]
 //!           [--max-connections 1024] [--duration-s N]
 //!
 //! Requests are classified by URL (`/class0/...`, `/premium/...`) or an
@@ -20,6 +21,16 @@
 //!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
 //! ```
 //!
+//! `--controller feedback` closes the control loop on measured
+//! per-class slowdowns (`--gain` tunes it; gain 0 ≡ open loop) and
+//! `--admission-cap C` sheds the lowest classes (`503` + `X-Shed`)
+//! once the offered load exceeds `C`. Both engines also serve the
+//! admin routes: `GET /metrics` (JSON snapshot) and `GET|PUT /config`
+//! (hot reconfiguration of δ's/gain/cap without restart):
+//!
+//!   curl 'http://127.0.0.1:8080/metrics'
+//!   curl -X PUT 'http://127.0.0.1:8080/config?deltas=2,1,4&gain=0.5'
+//!
 //! With `--duration-s N` the server runs for N seconds and then drains
 //! gracefully — stop accepting, finish in-flight requests, join the
 //! worker pool via `PsdServer::shutdown()` — and prints final per-class
@@ -28,7 +39,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use psd_server::{EngineKind, FrontendConfig, HttpFrontend, PsdServer, ServerConfig, Workload};
+use psd_server::{
+    ControllerKind, EngineKind, FrontendConfig, HttpFrontend, PsdServer, ServerConfig, Workload,
+};
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
@@ -39,6 +52,9 @@ fn main() {
     let mut workload = Workload::Sleep;
     let mut engine = EngineKind::Threads;
     let mut shards = psd_server::default_shards();
+    let mut controller = ControllerKind::Open;
+    let mut gain = 0.3f64;
+    let mut admission_cap: Option<f64> = None;
     let mut max_connections = FrontendConfig::default().max_connections;
     let mut duration_s: Option<f64> = None;
 
@@ -88,6 +104,28 @@ fn main() {
                     .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| die("--shards needs a positive integer"));
             }
+            "--controller" => {
+                controller = args
+                    .next()
+                    .as_deref()
+                    .and_then(ControllerKind::parse)
+                    .unwrap_or_else(|| die("--controller needs 'open' or 'feedback'"));
+            }
+            "--gain" => {
+                gain = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&g: &f64| g >= 0.0 && g.is_finite())
+                    .unwrap_or_else(|| die("--gain needs a number >= 0"));
+            }
+            "--admission-cap" => {
+                admission_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&c: &f64| c > 0.0 && c < 1.0)
+                        .unwrap_or_else(|| die("--admission-cap needs a value in (0,1)")),
+                );
+            }
             "--max-connections" => {
                 max_connections = args
                     .next()
@@ -108,8 +146,9 @@ fn main() {
                 println!(
                     "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
                      [--work-unit-us U] [--default-cost C] [--spin] \
-                     [--engine threads|reactor] [--shards N] [--max-connections N] \
-                     [--duration-s N]"
+                     [--engine threads|reactor] [--shards N] \
+                     [--controller open|feedback] [--gain G] [--admission-cap C] \
+                     [--max-connections N] [--duration-s N]"
                 );
                 return;
             }
@@ -125,6 +164,9 @@ fn main() {
         workers,
         work_unit: Duration::from_micros(work_unit_us),
         workload,
+        controller,
+        gain,
+        admission_cap,
         ..ServerConfig::default()
     }));
 
@@ -142,11 +184,13 @@ fn main() {
     .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
         "psd_httpd listening on {} — {} engine ({shards} shard(s)), {} classes \
-         (deltas {deltas:?}), {workers} worker(s), {work_unit_us}µs/work-unit, \
-         ≤{max_connections} connections",
+         (deltas {deltas:?}), {} controller{}, {workers} worker(s), \
+         {work_unit_us}µs/work-unit, ≤{max_connections} connections",
         frontend.addr(),
         engine.as_str(),
-        deltas.len()
+        deltas.len(),
+        controller.as_str(),
+        admission_cap.map(|c| format!(" (admission cap {c})")).unwrap_or_default()
     );
     eprintln!("try: curl 'http://{}/class0/hello?cost=2'", frontend.addr());
 

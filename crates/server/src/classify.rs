@@ -6,13 +6,37 @@
 //! * an explicit `X-Class: <n>` header,
 //! * a `/classN/...` path prefix,
 //! * tier-name prefixes (`/premium`, `/standard`, `/basic` → 0, 1, 2),
-//! * a default class for everything else.
+//! * a default class for everything else,
+//!
+//! plus the **admin route family** ([`admin_route`]): `/metrics` and
+//! `/config` are control-plane endpoints served by the front-end
+//! itself (never classified or queued) — see `crate::admin`.
 
 /// Result of classifying a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Classification {
     /// Class index (clamped to the server's class count by the caller).
     pub class: usize,
+}
+
+/// The control-plane endpoints both front-end engines serve directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminRoute {
+    /// `GET /metrics` — JSON snapshot of the control plane and the
+    /// per-class statistics.
+    Metrics,
+    /// `GET /config` (read) / `PUT /config?…` (hot reconfiguration).
+    Config,
+}
+
+/// Recognize an admin path. Admin routes win over classification: a
+/// request matching one is answered by the front-end, not executed.
+pub fn admin_route(path: &str) -> Option<AdminRoute> {
+    match path {
+        "/metrics" => Some(AdminRoute::Metrics),
+        "/config" => Some(AdminRoute::Config),
+        _ => None,
+    }
 }
 
 /// Classify from a request path (no header).
@@ -68,6 +92,14 @@ mod tests {
         assert_eq!(classify_path("/images/logo.png", 3).class, 3);
         assert_eq!(classify_path("/", 1).class, 1);
         assert_eq!(classify_path("/classless", 4).class, 4, "non-numeric suffix");
+    }
+
+    #[test]
+    fn admin_routes_recognized() {
+        assert_eq!(admin_route("/metrics"), Some(AdminRoute::Metrics));
+        assert_eq!(admin_route("/config"), Some(AdminRoute::Config));
+        assert_eq!(admin_route("/metrics/x"), None, "exact paths only");
+        assert_eq!(admin_route("/class0/metrics"), None);
     }
 
     #[test]

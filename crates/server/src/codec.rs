@@ -56,6 +56,11 @@ pub struct HttpRequest {
     pub path: String,
     /// `cost` query parameter, if present and parseable.
     pub cost: Option<f64>,
+    /// The raw query string — retained **only for admin paths**
+    /// (`/config`), where the control plane reads reconfiguration
+    /// parameters from it. On every other path it is `None` without
+    /// ever allocating, keeping the hot request path allocation-free.
+    pub query: Option<String>,
     /// `X-Class` header value, if present.
     pub x_class: Option<String>,
     /// `true` for `HTTP/1.1` (or newer) requests.
@@ -117,6 +122,7 @@ struct RequestLine {
     method: String,
     path: String,
     cost: Option<f64>,
+    query: Option<String>,
     http11: bool,
 }
 
@@ -281,6 +287,7 @@ impl RequestCodec {
                     method: rl.method,
                     path: rl.path,
                     cost: rl.cost,
+                    query: rl.query,
                     x_class: partial.x_class,
                     http11: rl.http11,
                     connection: partial.connection,
@@ -347,7 +354,10 @@ fn parse_request_line(line: &str) -> Result<RequestLine, DecodeError> {
     let cost = query.and_then(|q| {
         q.split('&').find_map(|kv| kv.strip_prefix("cost=")).and_then(|v| v.parse::<f64>().ok())
     });
-    Ok(RequestLine { method: method.to_string(), path: path.to_string(), cost, http11 })
+    // Only the admin config route keeps its raw query (it carries the
+    // hot-reconfiguration parameters); the hot path stays copy-free.
+    let query = query.filter(|_| path == "/config").map(str::to_string);
+    Ok(RequestLine { method: method.to_string(), path: path.to_string(), cost, query, http11 })
 }
 
 /// One HTTP-lite response, ready to serialize. Both engines build the

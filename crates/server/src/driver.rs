@@ -60,6 +60,12 @@ pub fn drive(
                 // second quietly drops the offered load below target.
                 timing::sleep_until(start + next_at);
                 let cost = spec.cost.sample(&mut rng).max(1e-3);
+                // The same admission gate the HTTP engines apply: a
+                // shed arrival never enters the system (visible in
+                // `ServerStats::shed`, not in the submitted count).
+                if !server.admit(class, cost) {
+                    continue;
+                }
                 if !server.submit(class, cost) {
                     break; // server shutting down
                 }

@@ -203,6 +203,17 @@ pub(crate) fn service_unavailable(http11: bool) -> Response {
     Response::empty(http11, 503, "Service Unavailable", false)
 }
 
+/// The admission-shed response: `503` + `Connection: close` like the
+/// saturation answer, but tagged `X-Shed: 1` so load generators can
+/// account shed load separately from failures. Closing is deliberate:
+/// a shedding server wants the connection's kernel buffers back, and a
+/// well-behaved client backs off before reconnecting.
+pub(crate) fn shed_response(http11: bool) -> Response {
+    let mut resp = Response::empty(http11, 503, "Service Unavailable", false);
+    resp.extra_headers.push(("X-Shed", "1".to_string()));
+    resp
+}
+
 /// Answer one over-cap accept with 503 and drop the connection. Writes
 /// with a short timeout so a client that never reads cannot wedge the
 /// accept path.
@@ -249,7 +260,23 @@ fn handle_connection(
                 // Stop keeping alive once a drain began so shutdown
                 // converges; unframed bodies force a close too.
                 let keep = req.keep_alive() && req.framed() && !stop.load(Ordering::SeqCst);
+                // Admin routes are served by the front-end itself —
+                // never classified, admitted or queued.
+                if let Some(resp) = crate::admin::handle(server, &req, keep) {
+                    let closing = !resp.keep_alive;
+                    if stream.write_all(&resp.to_bytes()).is_err() || closing {
+                        return;
+                    }
+                    idle_since = Instant::now();
+                    continue;
+                }
                 let (class, cost) = class_and_cost(server, &req, default_cost);
+                // Admission shedding: the control plane's per-class
+                // probabilities, highest classes protected.
+                if !server.admit(class, cost) {
+                    let _ = stream.write_all(&shed_response(req.http11).to_bytes());
+                    return;
+                }
                 let written = match server.submit_sync(class, cost) {
                     Some(done) => {
                         out.clear();

@@ -18,15 +18,24 @@
 //!                         │      │ reactor: N epoll shards (cfg.shards),      │
 //!  psd-loadgen / curl ─────────▶ │   round-robin fd assignment, sans-io       │
 //!                         │      │   codec, pooled buffers, coarse cached     │
-//!                         │      │   clock, coalesced eventfd completions     │
-//!                         │      └──────────────┬─────────────────────────────┘
-//!                         │ submit / submit_async │ classify → class, cost
-//!                         ▼                       ▼
+//!      GET /metrics       │      │   clock, coalesced eventfd completions     │
+//!      GET|PUT /config ──────────┼─▶ admin routes (classify::admin_route)     │
+//!      (hot reconfig:     │      └──────────────┬─────────────────────────────┘
+//!       δ's, gain, cap)   │   classify → class, cost → admit? ──no──▶ 503
+//!                         │                     │ yes                X-Shed: 1
+//!                         │ submit/submit_async ▼                   + close
 //!             ┌─────────────────────────────────────────────────────────┐
 //!             │ PsdServer                                               │
-//!             │  monitor: window arrival rates → psd_core::psd_rates    │
-//!             │        │ weights                                        │
-//!             │        ▼                                                │
+//!             │  monitor (every control window):                        │
+//!             │    sweep arrivals + offered work (incl. shed) +         │
+//!             │    measured slowdowns (MetricsSink::sweep_window) +     │
+//!             │    backlogs → WindowObservation                         │
+//!             │      → Box<dyn RateController>.control()                │
+//!             │        (psd_core::control: open Eq.17 | feedback,       │
+//!             │         × Admitting cap — the same objects desim runs)  │
+//!             │      → ControlDirective { rates, admit_probability }    │
+//!             │        rates → engine weights; admission + epoch →      │
+//!             │        SharedControl (lock-free submit-path tables)     │
 //!             │  Sleep × RatePartition:      everything else:           │
 //!             │  ┌────────────────────────┐  ┌───────────────────────┐  │
 //!             │  │ timer-wheel virtual    │  │ per-class arrival     │  │
@@ -36,7 +45,8 @@
 //!             │  │ threads, 50 µs ticks   │  │ worker pool           │  │
 //!             │  └────────────────────────┘  └───────────────────────┘  │
 //!             │  both: record delay/slowdown into per-executor metric   │
-//!             │  shards (swept at snapshot), deliver CompletionNotify   │
+//!             │  shards (swept per window AND at snapshot), deliver     │
+//!             │  CompletionNotify                                       │
 //!             └─────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -74,13 +84,20 @@
 //! The blocking front-end engine, the sharded epoll reactor and their
 //! shared HTTP codec live in [`httplite`], [`reactor`] and [`codec`];
 //! the `psd_httpd` binary selects between engines with `--engine
-//! {threads,reactor}` and sizes the reactor with `--shards N`. The
-//! timer-wheel execution engine lives in `wheel` (internal), the
-//! shared sleep-overshoot calibration in [`timing`].
+//! {threads,reactor}`, sizes the reactor with `--shards N`, and
+//! selects the control plane with `--controller {open,feedback}`,
+//! `--gain` and `--admission-cap`. The admin route family
+//! (`GET /metrics`, `GET`/`PUT /config` — hot reconfiguration of δ's,
+//! gain and admission cap without restart, epoch-ordered at control
+//! window boundaries) is served by both engines ahead of
+//! classification; see `admin` and [`SharedControl`]. The timer-wheel
+//! execution engine lives in `wheel` (internal), the shared
+//! sleep-overshoot calibration in [`timing`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod admin;
 pub mod classify;
 pub mod codec;
 pub mod driver;
@@ -92,10 +109,11 @@ mod server;
 pub mod timing;
 mod wheel;
 
-pub use classify::{classify_path, Classification};
+pub use classify::{admin_route, classify_path, AdminRoute, Classification};
 pub use codec::{ConnectionHeader, HttpRequest, RequestCodec, Response, WriteBuf};
 pub use httplite::{default_shards, EngineKind, FrontendConfig, HttpFrontend};
-pub use metrics::{ClassStats, MetricsRecorder, ServerStats};
+pub use metrics::{ClassStats, MetricsRecorder, ServerStats, WindowSweep};
+pub use psd_core::control::{ClassTable, ControllerKind, SharedControl};
 pub use server::{
     Completion, PsdServer, SchedulerKind, ServerConfig, Workload, DEFAULT_CONTROL_WINDOW,
 };

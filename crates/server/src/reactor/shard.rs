@@ -43,7 +43,9 @@ use std::time::Instant;
 use polling::{Event, Interest};
 
 use crate::codec::{HttpRequest, RequestCodec, WriteBuf};
-use crate::httplite::{bad_request, class_and_cost, service_unavailable, write_ok_response};
+use crate::httplite::{
+    bad_request, class_and_cost, service_unavailable, shed_response, write_ok_response,
+};
 use crate::server::{Completion, PsdServer};
 use crate::FrontendConfig;
 
@@ -362,9 +364,26 @@ impl ShardLoop {
 
     /// Hand a parsed request to the PSD queue and park the connection
     /// (fd deregistered from epoll) until the executor's callback rings
-    /// back.
+    /// back. Admin routes and admission-shed requests short-circuit to
+    /// an immediate response — they never touch the queue.
     fn begin_request(&mut self, key: usize, req: HttpRequest) {
+        let draining = self.shared.stop.load(Ordering::SeqCst);
+        let keep = req.keep_alive() && req.framed() && !draining;
+        if let Some(resp) = crate::admin::handle(&self.server, &req, keep) {
+            let Some(conn) = self.conns.get_mut(&key) else { return };
+            conn.out.push_response(&resp);
+            conn.phase = Phase::Flushing { then_close: !resp.keep_alive };
+            self.flush(key);
+            return;
+        }
         let (class, cost) = class_and_cost(&self.server, &req, self.cfg.default_cost);
+        if !self.server.admit(class, cost) {
+            let Some(conn) = self.conns.get_mut(&key) else { return };
+            conn.out.push_response(&shed_response(req.http11));
+            conn.phase = Phase::Flushing { then_close: true };
+            self.flush(key);
+            return;
+        }
         let http11 = req.http11;
         let Some(conn) = self.conns.get_mut(&key) else { return };
         conn.phase = Phase::Waiting { req, class, cost };

@@ -7,8 +7,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use psd_core::allocation::psd_rates_clamped;
-use psd_core::estimator::LoadEstimator;
+use psd_core::control::{
+    build_controller, ClassTable, ControllerKind, RateController, SharedControl, WindowObservation,
+};
 use psd_propshare::{Drr, Lottery, Stride, Wfq};
 
 use crate::metrics::{MetricsRecorder, MetricsSink, ServerStats};
@@ -85,6 +86,20 @@ pub struct ServerConfig {
     pub control_window: Duration,
     /// Estimator history in windows (paper: 5).
     pub estimator_history: usize,
+    /// Which controller family drives the monitor (`--controller`):
+    /// the open-loop Eq. 17 allocator or the slowdown-feedback
+    /// extension. Both are the same objects the simulator runs.
+    pub controller: ControllerKind,
+    /// Integral gain of the feedback controller (`--gain`); ignored by
+    /// [`ControllerKind::Open`]. `gain = 0` makes the feedback
+    /// controller bit-identical to the open loop.
+    pub gain: f64,
+    /// Target admitted utilization (`--admission-cap`): when set, the
+    /// control plane sheds the lowest classes first once the
+    /// estimator-smoothed offered load exceeds the cap — requests
+    /// rejected by [`PsdServer::admit`] are answered `503` upstream.
+    /// `None` disables admission control.
+    pub admission_cap: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +118,9 @@ impl Default for ServerConfig {
             workload: Workload::Sleep,
             control_window: DEFAULT_CONTROL_WINDOW,
             estimator_history: 5,
+            controller: ControllerKind::Open,
+            gain: 0.3,
+            admission_cap: None,
         }
     }
 }
@@ -190,6 +208,19 @@ pub struct PsdServer {
     exec: Arc<Exec>,
     metrics: Arc<MetricsSink>,
     window_arrivals: Arc<Vec<AtomicU64>>,
+    /// Per-class admitted work inside the current window, in
+    /// fixed-point milli-work-units (f64 costs don't add atomically;
+    /// 1/1000 of a work unit is far below every other measurement
+    /// error here).
+    window_work_mu: Arc<Vec<AtomicU64>>,
+    /// Per-class work turned away at the door inside the current
+    /// window (same fixed point). The admission controller must see
+    /// **offered** load — admitted plus shed — or it would equilibrate
+    /// above its cap: post-shed load looks compliant the moment the
+    /// shedding works.
+    window_shed_mu: Arc<Vec<AtomicU64>>,
+    control: Arc<SharedControl>,
+    shed: Arc<Vec<AtomicU64>>,
     stop: Arc<StopFlag>,
     workers: Vec<JoinHandle<()>>,
     monitor: Option<JoinHandle<()>>,
@@ -206,6 +237,18 @@ impl PsdServer {
         let metrics = Arc::new(MetricsSink::new(n));
         let window_arrivals: Arc<Vec<AtomicU64>> =
             Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let window_work_mu: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let window_shed_mu: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let control = Arc::new(SharedControl::new(ClassTable {
+            deltas: cfg.deltas.clone(),
+            gain: cfg.gain,
+            admission_cap: cfg.admission_cap,
+            controller: cfg.controller,
+            epoch: 0,
+        }));
+        let shed: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let stop = Arc::new(StopFlag::new());
 
         let use_wheel =
@@ -246,15 +289,46 @@ impl PsdServer {
         };
         let exec = Arc::new(exec);
 
+        // Build the controller stack and publish its initial directive
+        // *before* the monitor thread exists: `start` returns with the
+        // rates and admission tables already in force, so nothing ever
+        // observes a half-initialized control plane.
+        let table = control.table();
+        let mut controller = build_monitor_controller(&cfg, &table);
+        let initial = controller.initial_rates(n);
+        exec.set_weights(&initial);
+        control.publish(table.epoch, &initial, None);
+
         let monitor = {
             let exec = Arc::clone(&exec);
             let arrivals = Arc::clone(&window_arrivals);
+            let work = Arc::clone(&window_work_mu);
+            let shed_work = Arc::clone(&window_shed_mu);
+            let metrics = Arc::clone(&metrics);
+            let control = Arc::clone(&control);
             let stop = Arc::clone(&stop);
             let cfg = cfg.clone();
-            Some(thread::spawn(move || monitor_loop(&cfg, &exec, &arrivals, &stop)))
+            Some(thread::spawn(move || {
+                monitor_loop(
+                    &cfg, &exec, &arrivals, &work, &shed_work, &metrics, &control, &stop,
+                    controller, table, initial,
+                )
+            }))
         };
 
-        Self { exec, metrics, window_arrivals, stop, workers, monitor, n_classes: n }
+        Self {
+            exec,
+            metrics,
+            window_arrivals,
+            window_work_mu,
+            window_shed_mu,
+            control,
+            shed,
+            stop,
+            workers,
+            monitor,
+            n_classes: n,
+        }
     }
 
     /// Number of classes.
@@ -296,12 +370,53 @@ impl PsdServer {
         assert!(cost.is_finite() && cost > 0.0, "request cost must be positive");
         let class = class.min(self.n_classes - 1);
         self.window_arrivals[class].fetch_add(1, Ordering::Relaxed);
+        self.window_work_mu[class].fetch_add((cost * 1000.0).round() as u64, Ordering::Relaxed);
         self.exec.submit(QueuedRequest { class, cost, enqueued: Instant::now(), notify })
+    }
+
+    /// One admission decision for a class-`class` request of `cost`
+    /// work units, against the probabilities most recently published by
+    /// the control plane: `true` to serve, `false` to shed (the shed
+    /// counter and the window's shed-work account are bumped here;
+    /// callers answer `503` + `Connection: close`). The cost matters
+    /// even for rejected requests — the monitor's controller must see
+    /// the **offered** load, not just what survived the door. With no
+    /// `admission_cap` configured this is always `true` at the cost of
+    /// one relaxed atomic load.
+    pub fn admit(&self, class: usize, cost: f64) -> bool {
+        let class = class.min(self.n_classes - 1);
+        if self.control.admit(class) {
+            true
+        } else {
+            self.shed[class].fetch_add(1, Ordering::Relaxed);
+            self.window_shed_mu[class]
+                .fetch_add((cost.max(0.0) * 1000.0).round() as u64, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// The control plane's runtime surface: published rates and
+    /// admission probabilities, the epoch-stamped class table, and the
+    /// hot-reconfiguration entry point the admin endpoints use.
+    pub fn control(&self) -> &SharedControl {
+        &self.control
+    }
+
+    /// Requests shed at admission for one class.
+    pub fn shed_count(&self, class: usize) -> u64 {
+        self.shed[class.min(self.n_classes - 1)].load(Ordering::Relaxed)
     }
 
     /// Live statistics snapshot.
     pub fn stats(&self) -> ServerStats {
-        self.metrics.snapshot()
+        self.fill_shed(self.metrics.snapshot())
+    }
+
+    fn fill_shed(&self, mut stats: ServerStats) -> ServerStats {
+        for (c, shed) in stats.classes.iter_mut().zip(self.shed.iter()) {
+            c.shed = shed.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Backlog of one class.
@@ -310,12 +425,12 @@ impl PsdServer {
     }
 
     /// Drain pending work, stop all threads, return final statistics.
-    pub fn shutdown(self) -> ServerStats {
+    pub fn shutdown(mut self) -> ServerStats {
         self.stop.set();
         match &*self.exec {
             Exec::Pool(queue) => {
                 queue.close();
-                for w in self.workers {
+                for w in std::mem::take(&mut self.workers) {
                     let _ = w.join();
                 }
             }
@@ -324,10 +439,10 @@ impl PsdServer {
                 wheel.join();
             }
         }
-        if let Some(m) = self.monitor {
+        if let Some(m) = self.monitor.take() {
             let _ = m.join();
         }
-        self.metrics.snapshot()
+        self.fill_shed(self.metrics.snapshot())
     }
 }
 
@@ -366,29 +481,114 @@ fn worker_loop(
     }
 }
 
-fn monitor_loop(cfg: &ServerConfig, exec: &Exec, arrivals: &[AtomicU64], stop: &StopFlag) {
+/// The rate monitor: every control window it closes a
+/// [`WindowObservation`] — swept arrivals/work counters, **measured
+/// per-class slowdowns** from the sharded metrics recorders
+/// ([`MetricsSink::sweep_window`], snapshot-and-reset so nothing
+/// double-counts), and live backlogs — and hands it to an arbitrary
+/// [`RateController`] built by the shared `psd_core::control` factory.
+/// The directive's rates drive the execution engine; its admission
+/// probabilities are published to [`SharedControl`] for the submit
+/// paths. The old inlined `LoadEstimator` + `psd_rates_clamped` loop is
+/// gone: the controller stack is the single source of truth for rates,
+/// and the exact same controller objects run in the desim engine.
+///
+/// Hot reconfiguration: when the admin surface bumps the class-table
+/// epoch, the monitor rebuilds its controller from the new table at the
+/// next window boundary and publishes under the new epoch (see the
+/// epoch-ordering notes on [`SharedControl`]).
+/// Fraction of the machine one worker represents (the `/ workers` in
+/// the shared pool; rate partition is a single full-rate processor
+/// split into per-class shares).
+fn capacity_workers(cfg: &ServerConfig) -> f64 {
+    match cfg.scheduler {
+        SchedulerKind::RatePartition => 1.0,
+        _ => cfg.workers as f64,
+    }
+}
+
+/// Build the controller stack for the monitor from a class table — the
+/// shared `psd_core::control` factory with this server's effective
+/// mean service time (mean request cost as a fraction of machine
+/// capacity).
+fn build_monitor_controller(
+    cfg: &ServerConfig,
+    table: &ClassTable,
+) -> Box<dyn RateController + Send> {
+    let mean_service_s = cfg.mean_cost * cfg.work_unit.as_secs_f64() / capacity_workers(cfg);
+    build_controller(
+        table.controller,
+        &table.deltas,
+        mean_service_s,
+        table.gain,
+        cfg.estimator_history,
+        table.admission_cap,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn monitor_loop(
+    cfg: &ServerConfig,
+    exec: &Exec,
+    arrivals: &[AtomicU64],
+    work_mu: &[AtomicU64],
+    shed_mu: &[AtomicU64],
+    metrics: &MetricsSink,
+    control: &SharedControl,
+    stop: &StopFlag,
+    mut controller: Box<dyn RateController + Send>,
+    mut table: ClassTable,
+    mut current_rates: Vec<f64>,
+) {
     let n = cfg.deltas.len();
-    let mut estimator = LoadEstimator::new(n, cfg.estimator_history);
-    // Effective "mean service time" as a fraction of machine capacity:
-    // in the shared pool, one request occupies one of `workers` workers
-    // for cost·work_unit; in rate-partition mode the machine is a
-    // single full-rate processor split into the per-class shares.
-    let mean_service_s = match cfg.scheduler {
-        SchedulerKind::RatePartition => cfg.mean_cost * cfg.work_unit.as_secs_f64(),
-        _ => cfg.mean_cost * cfg.work_unit.as_secs_f64() / cfg.workers as f64,
-    };
+    let capacity_workers = capacity_workers(cfg);
+    let work_unit_s = cfg.work_unit.as_secs_f64();
+    let started = Instant::now();
+    let mut window_start = 0.0f64;
+    let mut index = 0u64;
     loop {
         if stop.wait_for(cfg.control_window) {
             return;
         }
-        let window_s = cfg.control_window.as_secs_f64();
-        let rates: Vec<f64> =
-            arrivals.iter().map(|a| a.swap(0, Ordering::Relaxed) as f64 / window_s).collect();
-        estimator.observe(&rates);
-        let est = estimator.estimate().expect("observed at least one window");
-        if let Ok(weights) = psd_rates_clamped(&est, &cfg.deltas, mean_service_s, 1e-4, 0.02) {
-            exec.set_weights(&weights);
+        // Hot reconfig: a bumped epoch swaps in a rebuilt controller at
+        // this window boundary (its estimator restarts cold; the
+        // current rates stay in force until its first directive).
+        if control.epoch() != table.epoch {
+            table = control.table();
+            controller = build_monitor_controller(cfg, &table);
         }
+        let now_s = started.elapsed().as_secs_f64();
+        let sweep = metrics.sweep_window();
+        let obs = WindowObservation {
+            index,
+            start: window_start,
+            end: now_s,
+            arrivals: arrivals.iter().map(|a| a.swap(0, Ordering::Relaxed)).collect(),
+            arrived_work: work_mu
+                .iter()
+                .map(|w| {
+                    w.swap(0, Ordering::Relaxed) as f64 * 1e-3 * work_unit_s / capacity_workers
+                })
+                .collect(),
+            shed_work: shed_mu
+                .iter()
+                .map(|w| {
+                    w.swap(0, Ordering::Relaxed) as f64 * 1e-3 * work_unit_s / capacity_workers
+                })
+                .collect(),
+            completions: sweep.completions,
+            backlog: (0..n).map(|c| exec.backlog(c) as u64).collect(),
+            slowdown_sums: sweep.slowdown_sums,
+        };
+        index += 1;
+        window_start = now_s;
+
+        let directive = controller.control(now_s, &obs);
+        if let Some(rates) = directive.rates {
+            exec.set_weights(&rates);
+            current_rates = rates;
+        }
+        control.publish(table.epoch, &current_rates, directive.admit_probability.as_deref());
     }
 }
 

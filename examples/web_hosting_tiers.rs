@@ -34,6 +34,7 @@ fn main() {
         workload: Workload::Spin,
         control_window: Duration::from_millis(100),
         estimator_history: 5,
+        ..ServerConfig::default()
     };
     let server = Arc::new(PsdServer::start(cfg));
 

@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`dist`] | Bounded Pareto & friends, exact moments, arrival processes, PRNGs |
 //! | [`queueing`] | M/G/1 FCFS analysis: P–K delay, slowdown closed forms (Lemma 1/2, Thm 1) |
+//! | [`control`] | the shared control-plane contract: `RateController`, `WindowObservation`, `ControlDirective` |
 //! | [`desim`] | discrete-event simulator: fluid task servers, generators, metrics |
 //! | [`propshare`] | GPS / WFQ / Lottery / Stride / DRR scheduling substrate |
 //! | [`core`] | the paper's contribution: Eq. 17 allocator, Eq. 18 model, estimator, controller |
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use psd_control as control;
 pub use psd_core as core;
 pub use psd_desim as desim;
 pub use psd_dist as dist;
