@@ -126,6 +126,15 @@ pub trait RateController {
     fn control(&mut self, now: f64, window: &WindowObservation) -> ControlDirective {
         ControlDirective::rates_only(self.reallocate(now, window))
     }
+
+    /// Named internal state vectors for tracing — what a flight
+    /// recorder stores next to each directive so a decision can be
+    /// audited and replayed. Stateless controllers keep the default
+    /// (nothing); e.g. the slowdown-feedback controller exposes its
+    /// per-class integral terms.
+    fn internals(&self) -> Vec<(String, Vec<f64>)> {
+        Vec::new()
+    }
 }
 
 impl<T: RateController + ?Sized> RateController for Box<T> {
@@ -139,6 +148,10 @@ impl<T: RateController + ?Sized> RateController for Box<T> {
 
     fn control(&mut self, now: f64, window: &WindowObservation) -> ControlDirective {
         (**self).control(now, window)
+    }
+
+    fn internals(&self) -> Vec<(String, Vec<f64>)> {
+        (**self).internals()
     }
 }
 

@@ -147,6 +147,7 @@ impl PsdConfig {
             seed,
             service_mode: self.service_mode,
             trace_range: self.trace_range,
+            ..SimConfig::default()
         }
     }
 

@@ -67,6 +67,14 @@ impl<C: RateController> RateController for Admitting<C> {
             admit_probability: decision.is_shedding().then_some(decision.admit_probability),
         }
     }
+
+    fn internals(&self) -> Vec<(String, Vec<f64>)> {
+        let mut inner = self.inner.internals();
+        if let Some(est) = self.loads.as_ref().and_then(|l| l.estimate()) {
+            inner.push(("admission_offered_loads".to_string(), est));
+        }
+        inner
+    }
 }
 
 #[cfg(test)]

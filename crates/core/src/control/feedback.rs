@@ -171,6 +171,10 @@ impl RateController for FeedbackPsdController {
         let est = self.estimator.estimate().expect("just observed a window");
         Some(self.allocate(&est))
     }
+
+    fn internals(&self) -> Vec<(String, Vec<f64>)> {
+        vec![("integral_terms".to_string(), self.integral.clone())]
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 
 use psd_dist::rng::SplitMix64;
 use psd_dist::ServiceDist;
+use psd_obs::{ControlTrace, FlightRecorder};
 
 use crate::controller::{RateController, WindowObservation};
 use crate::events::{Event, EventQueue};
@@ -52,6 +53,10 @@ pub struct SimConfig {
     pub service_mode: ServiceMode,
     /// If set, record every departure in `[from, to)` (paper Figs 7/8).
     pub trace_range: Option<(f64, f64)>,
+    /// Control-decision flight-recorder depth: the last this many
+    /// control windows (observation + directive + controller internals)
+    /// are kept in [`SimOutput::control_trace`]. 0 disables recording.
+    pub flight_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -65,6 +70,7 @@ impl Default for SimConfig {
             seed: 0,
             service_mode: ServiceMode::Fluid,
             trace_range: None,
+            flight_capacity: 256,
         }
     }
 }
@@ -129,6 +135,7 @@ impl Simulation {
         let mut tracer = cfg.trace_range.map(|(a, b)| Tracer::new(a, b));
         let mut events = EventQueue::new();
         let mut rate_history = vec![(0.0, initial_rates)];
+        let flight = (cfg.flight_capacity > 0).then(|| FlightRecorder::new(cfg.flight_capacity));
 
         for (i, c) in classes.iter().enumerate() {
             events.schedule(c.generator.next_arrival_time(), Event::Arrival { class: i });
@@ -217,14 +224,30 @@ impl Simulation {
                     // `admit_probability` is ignored here (shedding is
                     // exercised end-to-end by `psd-server`/`psd-loadgen`).
                     let directive = self.controller.control(now, &obs);
-                    if let Some(rates) = directive.rates {
-                        validate_rates(&rates, n);
+                    if let Some(rates) = &directive.rates {
+                        validate_rates(rates, n);
                         for (i, state) in classes.iter_mut().enumerate() {
                             if let Some((t, epoch)) = state.server.set_rate(rates[i], now) {
                                 events.schedule(t, Event::Completion { class: i, epoch });
                             }
                         }
-                        rate_history.push((now, rates));
+                        rate_history.push((now, rates.clone()));
+                    }
+                    // Flight-record the decision exactly as the live
+                    // server's monitor does, so a simulated run and a
+                    // live trace are diffable window by window.
+                    if let Some(f) = &flight {
+                        f.record(ControlTrace {
+                            at_s: now,
+                            epoch: obs.index,
+                            applied_rates: rate_history
+                                .last()
+                                .map(|(_, r)| r.clone())
+                                .unwrap_or_default(),
+                            internals: self.controller.internals(),
+                            observation: obs,
+                            directive,
+                        });
                     }
                     events.schedule(now + cfg.control_period, Event::Control);
                 }
@@ -234,6 +257,9 @@ impl Simulation {
         let mut out = metrics.finish(end, rate_history);
         if let Some(t) = tracer {
             out.trace = t.into_records();
+        }
+        if let Some(f) = flight {
+            out.control_trace = f.snapshot();
         }
         out.busy_time = classes.iter().map(|c| c.server.busy_time_as_of(end)).collect();
         out

@@ -9,6 +9,7 @@
 use crate::request::CompletedRequest;
 use crate::trace::TraceRecord;
 use psd_dist::stats::Welford;
+use psd_obs::{traces_to_json, ControlTrace};
 
 /// Mean slowdown of one class over one measurement window.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +142,7 @@ impl MetricsCollector {
             rate_history,
             trace: Vec::new(),
             busy_time: Vec::new(),
+            control_trace: Vec::new(),
         }
     }
 }
@@ -160,12 +162,27 @@ pub struct SimOutput {
     /// Per-class task-server busy time over the whole run (set by the
     /// engine; empty in unit-constructed outputs).
     pub busy_time: Vec<f64>,
+    /// The control-decision flight record: one [`ControlTrace`] per
+    /// control window (bounded by `SimConfig::flight_capacity`),
+    /// exactly the shape the live server's `GET /trace/control` dumps —
+    /// so a live recording replays through the simulator's controller
+    /// and diffs (see [`psd_obs::replay`]).
+    pub control_trace: Vec<ControlTrace>,
 }
 
 impl SimOutput {
     /// Mean slowdown of class `i` over the measurement period.
     pub fn mean_slowdown(&self, class: usize) -> Option<f64> {
         self.per_class[class].mean_slowdown()
+    }
+
+    /// The flight record as the same JSON document the live server's
+    /// `GET /trace/control` serves — round-trips through
+    /// [`psd_obs::parse_traces`] for offline replay.
+    pub fn control_trace_json(&self) -> String {
+        traces_to_json(&self.control_trace, self.control_trace.len(), {
+            self.control_trace.len() as u64
+        })
     }
 
     /// Fraction of the run the class's task server spent busy (whole

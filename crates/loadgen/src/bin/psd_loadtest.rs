@@ -7,6 +7,7 @@
 //!              [--workers W] [--engine threads|reactor] [--shards N]
 //!              [--controller open|feedback] [--gain G]
 //!              [--admission-cap C] [--work-unit-us U] [--seed N]
+//!              [--trace-sample P] [--obs-scrape DIR]
 //!              [--json PATH] [--check MAX_DEV] [--list]
 //!
 //!   --scenario     steady | burst | flashcrowd | stepload |
@@ -36,6 +37,14 @@
 //!                  allocator monitor window (default 500; short runs
 //!                  at high rates converge faster with ~150)
 //!   --seed         schedule + cost-draw seed
+//!   --trace-sample request-trace sampling probability in [0,1]
+//!                  (default 1.0; 0 disables the span ring — the CI
+//!                  observability smoke's baseline)
+//!   --obs-scrape DIR
+//!                  scrape /metrics/prometheus, /healthz, /trace and
+//!                  /trace/control at half-run (while traffic is
+//!                  offered), validate them with the psd-obs parsers,
+//!                  and write the bodies under DIR
 //!   --json PATH    also write the JSON report to PATH
 //!   --check D      exit non-zero on errors or slowdown-ratio
 //!                  deviation > D (e.g. 0.5 for 50%)
@@ -64,6 +73,8 @@ fn main() {
     let mut work_unit_us: Option<u64> = None;
     let mut control_window_ms: Option<u64> = None;
     let mut seed: Option<u64> = None;
+    let mut trace_sample: Option<f64> = None;
+    let mut obs_scrape: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut check: Option<f64> = None;
 
@@ -179,6 +190,17 @@ fn main() {
                         .unwrap_or_else(|| die("--seed needs an integer")),
                 );
             }
+            "--trace-sample" => {
+                trace_sample = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&p: &f64| (0.0..=1.0).contains(&p))
+                        .unwrap_or_else(|| die("--trace-sample needs a probability in [0,1]")),
+                );
+            }
+            "--obs-scrape" => {
+                obs_scrape = Some(args.next().unwrap_or_else(|| die("--obs-scrape needs a dir")));
+            }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| die("--json needs a path"))),
             "--check" => {
                 check = Some(
@@ -201,6 +223,7 @@ fn main() {
                      [--engine threads|reactor] [--shards N] \
                      [--controller open|feedback] [--gain G] [--admission-cap C] \
                      [--work-unit-us U] [--control-window-ms M] [--seed N] \
+                     [--trace-sample P] [--obs-scrape DIR] \
                      [--json PATH] [--check D] [--list]"
                 );
                 return;
@@ -291,6 +314,9 @@ fn main() {
     if let Some(s) = seed {
         scenario.seed = s;
     }
+    if let Some(p) = trace_sample {
+        scenario.server.trace_sample = p;
+    }
     scenario.validate();
 
     eprintln!(
@@ -304,8 +330,16 @@ fn main() {
         scenario.server.controller.as_str(),
         scenario.server.admission_cap.map(|c| format!(", admission cap {c}")).unwrap_or_default()
     );
-    let out = harness::run_scenario(&scenario)
-        .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));
+    let out = match &obs_scrape {
+        None => harness::run_scenario(&scenario)
+            .unwrap_or_else(|e| die(&format!("scenario run failed: {e}"))),
+        Some(dir) => {
+            let (out, scrape) = harness::run_scenario_scraped(&scenario, 0.5)
+                .unwrap_or_else(|e| die(&format!("scenario run failed: {e}")));
+            write_scrape(dir, &scrape);
+            out
+        }
+    };
     let report = &out.report;
 
     println!("{}", report.to_markdown());
@@ -321,6 +355,31 @@ fn main() {
         }
         eprintln!("psd_loadtest: check passed (max deviation {:.0}%)", max_dev * 100.0);
     }
+}
+
+/// Validate the mid-run scrape with the psd-obs parsers and write the
+/// bodies under `dir` (created if absent).
+fn write_scrape(dir: &str, scrape: &psd_loadgen::harness::ObsScrape) {
+    let samples = psd_obs::parse_prometheus(&scrape.prometheus)
+        .unwrap_or_else(|e| die(&format!("mid-run /metrics/prometheus does not parse: {e}")));
+    let traces = psd_obs::parse_traces(&scrape.control_trace)
+        .unwrap_or_else(|e| die(&format!("mid-run /trace/control does not parse: {e}")));
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+    let files = [
+        ("prometheus.txt", &scrape.prometheus),
+        ("healthz.json", &scrape.healthz),
+        ("trace.json", &scrape.trace),
+        ("control_trace.json", &scrape.control_trace),
+    ];
+    for (name, body) in files {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    eprintln!(
+        "psd_loadtest: mid-run scrape OK — {} Prometheus samples, {} control trace(s) → {dir}/",
+        samples.len(),
+        traces.len()
+    );
 }
 
 /// Parse `10s`, `1500ms`, or a bare number of seconds.

@@ -110,6 +110,62 @@ impl Connection {
     }
 }
 
+/// One admin response pulled by [`get`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdminBody {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header (empty when absent).
+    pub content_type: String,
+    /// The full response body.
+    pub body: String,
+}
+
+/// Issue one `GET {path}` against the server's admin endpoint on a
+/// fresh connection (`Connection: close`) and return the status,
+/// content type and full body — the generator's mid-run observability
+/// scrape (`/metrics/prometheus`, `/trace`, `/trace/control`,
+/// `/healthz`).
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<AdminBody> {
+    let mut conn = Connection::connect(addr, timeout)?;
+    let head = format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n");
+    conn.writer.write_all(head.as_bytes())?;
+    let mut status_line = String::new();
+    if conn.reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    loop {
+        let mut line = String::new();
+        if conn.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"));
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let (name, value) = (name.trim(), value.trim());
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(&mut conn.reader, &mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(AdminBody { status, content_type, body })
+}
+
 /// Issue one `PUT /config?{query}` against the server's admin endpoint
 /// on a fresh connection (e.g. `query = "deltas=2,1"`) and return the
 /// status code — the generator's hot-reconfiguration trigger.

@@ -227,6 +227,11 @@ pub struct ServerProfile {
     /// Target admitted utilization (`--admission-cap`); `None`
     /// disables admission control.
     pub admission_cap: Option<f64>,
+    /// Request-trace sampling probability (`--trace-sample`): the
+    /// fraction of requests recorded into the server's span ring.
+    /// `0.0` disables tracing entirely — the CI observability smoke
+    /// compares a traced run against this baseline.
+    pub trace_sample: f64,
 }
 
 impl Default for ServerProfile {
@@ -248,6 +253,7 @@ impl Default for ServerProfile {
             controller: ControllerKind::Open,
             gain: 0.3,
             admission_cap: None,
+            trace_sample: 1.0,
         }
     }
 }
@@ -463,6 +469,8 @@ impl Scenario {
             controller: self.server.controller,
             gain: self.server.gain,
             admission_cap: self.server.admission_cap,
+            trace_sample: self.server.trace_sample,
+            ..ServerConfig::default()
         }
     }
 

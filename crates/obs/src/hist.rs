@@ -1,0 +1,117 @@
+//! A lock-free log-bucket latency histogram: powers-of-two microsecond
+//! buckets, relaxed atomic increments, snapshot on scrape. Bucket `b`
+//! holds observations with exactly `b` significant bits of microseconds
+//! (`[2^(b-1), 2^b) µs`), so the Prometheus upper bound of bucket `b`
+//! is `2^b µs` and cumulative counts are monotone by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: `2^27 µs ≈ 134 s` before the `+Inf` overflow
+/// bucket — far beyond any request this stack serves.
+pub const HIST_BUCKETS: usize = 28;
+
+/// A fixed-shape atomic histogram; `observe_ns` is wait-free.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation, in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let us = ns / 1_000;
+        let idx = ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (buckets are read relaxed; the totals may
+    /// trail concurrent writers by a few observations, which scrapes
+    /// tolerate).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+/// The scrape-side view of a [`LogHistogram`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub sum_seconds: f64,
+}
+
+impl HistSnapshot {
+    /// The inclusive upper bound of bucket `i` in seconds (`+Inf` for
+    /// the last bucket), i.e. the Prometheus `le` label value.
+    pub fn upper_bound_seconds(&self, i: usize) -> f64 {
+        if i + 1 >= self.counts.len() {
+            f64::INFINITY
+        } else {
+            (1u64 << i) as f64 * 1e-6
+        }
+    }
+
+    /// Cumulative counts, bucket by bucket (what `_bucket` samples
+    /// carry on the wire).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced_and_cumulative_counts_monotone() {
+        let h = LogHistogram::new();
+        h.observe_ns(0); // bucket 0 (sub-microsecond)
+        h.observe_ns(1_500); // 1 µs  -> bucket 1 (≤ 2 µs)
+        h.observe_ns(1_000_000); // 1 ms  -> bucket 10 (≤ 1024 µs)
+        h.observe_ns(u64::MAX / 2); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[10], 1);
+        assert_eq!(s.counts[HIST_BUCKETS - 1], 1);
+        let cum = s.cumulative();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative must be monotone");
+        assert_eq!(*cum.last().unwrap(), 4);
+        assert!(s.upper_bound_seconds(HIST_BUCKETS - 1).is_infinite());
+        assert!((s.upper_bound_seconds(10) - 1024e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,377 @@
+//! Request lifecycle tracing: compact plain-old-data span records in a
+//! sharded fixed-capacity ring. Each frontend writer owns (by
+//! convention) one shard, so the per-record `Mutex` lock is an
+//! uncontended compare-and-swap; slots are pre-allocated at
+//! construction, so recording a span performs **zero heap
+//! allocation** — the property the server's `reactor_alloc` gate
+//! enforces end to end.
+//!
+//! One record summarizes the whole accept → parse → classify →
+//! admit/shed → enqueue → dispatch → finish → respond lifecycle as the
+//! per-stage slowdown decomposition the paper's metric calls for:
+//! queueing wait, ideal service, stretch (rate-partitioned dilation
+//! beyond ideal), and write-back (completion hand-off + response
+//! write).
+
+use crate::json::push_json_f64;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One sampled request, fully described by values every frontend
+/// already holds at respond time — fixed size, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanRecord {
+    /// Global sequence number (assigned by the ring; later = newer).
+    pub seq: u64,
+    /// Request class (0-based).
+    pub class: u32,
+    /// Writer shard (reactor shard index or handler-thread slot).
+    pub shard: u32,
+    /// `false` when admission control shed the request at the door; all
+    /// stage fields are zero for shed spans.
+    pub admitted: bool,
+    /// Declared request cost (work units).
+    pub cost: f64,
+    /// Enqueue → dispatch wait.
+    pub queue_ns: u64,
+    /// Dispatch → finish (actual, stretched, service time).
+    pub service_ns: u64,
+    /// Ideal full-rate service time (`cost × work_unit`).
+    pub nominal_ns: u64,
+    /// Finish → response-write hand-off (mailbox / channel latency).
+    pub writeback_ns: u64,
+}
+
+impl SpanRecord {
+    /// End-to-end residence time.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns + self.writeback_ns
+    }
+
+    /// Dilation beyond the ideal service time — the share-stretch
+    /// component of the decomposition.
+    pub fn stretch_ns(&self) -> u64 {
+        self.service_ns.saturating_sub(self.nominal_ns)
+    }
+
+    /// The ideal-service component (actual service capped at nominal,
+    /// so `queue + ideal + stretch + writeback == total`).
+    pub fn ideal_service_ns(&self) -> u64 {
+        self.service_ns.min(self.nominal_ns)
+    }
+
+    /// The paper's slowdown metric for this request: residence time
+    /// over ideal full-rate service time. `None` for shed spans or a
+    /// zero nominal.
+    pub fn slowdown(&self) -> Option<f64> {
+        (self.admitted && self.nominal_ns > 0)
+            .then(|| self.total_ns() as f64 / self.nominal_ns as f64)
+    }
+
+    /// Append this span as a JSON object with the per-stage slowdown
+    /// decomposition (all times in microseconds).
+    pub fn push_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"class\":{},\"shard\":{},\"admitted\":{}",
+            self.seq, self.class, self.shard, self.admitted
+        );
+        out.push_str(",\"cost\":");
+        push_json_f64(out, self.cost);
+        let us = |ns: u64| ns as f64 * 1e-3;
+        for (key, val) in [
+            ("queue_us", us(self.queue_ns)),
+            ("service_us", us(self.ideal_service_ns())),
+            ("stretch_us", us(self.stretch_ns())),
+            ("writeback_us", us(self.writeback_ns)),
+            ("total_us", us(self.total_ns())),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            push_json_f64(out, val);
+        }
+        out.push_str(",\"slowdown\":");
+        match self.slowdown() {
+            Some(s) => push_json_f64(out, s),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+}
+
+struct RingShard {
+    slots: Vec<SpanRecord>,
+    next: usize,
+    filled: usize,
+    rng: u64,
+}
+
+/// The sharded fixed-capacity span ring. `record` is the only hot-path
+/// entry point; everything else is scrape-side.
+pub struct SpanRing {
+    shards: Vec<Mutex<RingShard>>,
+    seq: AtomicU64,
+    /// Per-draw acceptance threshold out of 2³² (0 disables tracing).
+    sample_threshold: u64,
+    sample: f64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("shards", &self.shards.len())
+            .field("sample", &self.sample)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring with `total_capacity` slots spread over `shards` shards,
+    /// sampling each request with probability `sample` (clamped to
+    /// `[0, 1]`). All slots are allocated here, never afterwards.
+    pub fn new(shards: usize, total_capacity: usize, sample: f64) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (total_capacity / shards).max(1);
+        let sample = sample.clamp(0.0, 1.0);
+        Self {
+            shards: (0..shards)
+                .map(|i| {
+                    Mutex::new(RingShard {
+                        slots: vec![SpanRecord::default(); per_shard],
+                        next: 0,
+                        filled: 0,
+                        // Distinct odd seeds per shard.
+                        rng: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(2 * i as u64 + 1),
+                    })
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            sample_threshold: (sample * 4_294_967_296.0) as u64,
+            sample,
+        }
+    }
+
+    /// The configured sampling probability.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample
+    }
+
+    /// Spans recorded (post-sampling) since start.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Total slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).slots.len()).sum()
+    }
+
+    /// Offer one span from `shard` (wrapped modulo the shard count).
+    /// Applies the sampling draw, assigns the sequence number, and
+    /// overwrites the oldest slot when full. Returns whether the span
+    /// was kept. Allocation-free.
+    pub fn record(&self, shard: usize, mut rec: SpanRecord) -> bool {
+        if self.sample_threshold == 0 {
+            return false;
+        }
+        let mut g = lock(&self.shards[shard % self.shards.len()]);
+        if self.sample_threshold < 1 << 32 {
+            // xorshift64* — cheap, per-shard state, no global contention.
+            let mut x = g.rng;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            g.rng = x;
+            if x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32 >= self.sample_threshold {
+                return false;
+            }
+        }
+        rec.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at = g.next;
+        let cap = g.slots.len();
+        g.slots[at] = rec;
+        g.next = (at + 1) % cap;
+        g.filled = (g.filled + 1).min(cap);
+        true
+    }
+
+    /// The most recent `max` spans across all shards, oldest first.
+    pub fn recent(&self, max: usize) -> Vec<SpanRecord> {
+        let mut all: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            let g = lock(shard);
+            all.extend_from_slice(&g.slots[..g.filled]);
+        }
+        all.sort_by_key(|r| r.seq);
+        if all.len() > max {
+            all.drain(..all.len() - max);
+        }
+        all
+    }
+}
+
+fn lock(m: &Mutex<RingShard>) -> std::sync::MutexGuard<'_, RingShard> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-class sums of the four decomposition stages over a span set —
+/// the aggregate view `GET /trace` serves alongside the raw spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Spans aggregated (admitted only).
+    pub count: u64,
+    /// Shed spans seen for this class.
+    pub shed: u64,
+    /// Sum of queueing waits (ns).
+    pub queue_ns: u64,
+    /// Sum of ideal service (ns).
+    pub service_ns: u64,
+    /// Sum of stretch (ns).
+    pub stretch_ns: u64,
+    /// Sum of write-back (ns).
+    pub writeback_ns: u64,
+}
+
+/// Aggregate `spans` into per-class stage sums (`n_classes` rows; spans
+/// for classes beyond that are counted into the last row).
+pub fn decompose(spans: &[SpanRecord], n_classes: usize) -> Vec<StageBreakdown> {
+    let n = n_classes.max(1);
+    let mut rows = vec![StageBreakdown::default(); n];
+    for s in spans {
+        let row = &mut rows[(s.class as usize).min(n - 1)];
+        if !s.admitted {
+            row.shed += 1;
+            continue;
+        }
+        row.count += 1;
+        row.queue_ns += s.queue_ns;
+        row.service_ns += s.ideal_service_ns();
+        row.stretch_ns += s.stretch_ns();
+        row.writeback_ns += s.writeback_ns;
+    }
+    rows
+}
+
+/// Render a `GET /trace` response body: ring configuration, the
+/// per-class decomposition, and the raw spans (oldest first).
+pub fn spans_to_json(spans: &[SpanRecord], n_classes: usize, sample: f64, recorded: u64) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"sample\":");
+    push_json_f64(&mut out, sample);
+    let _ = write!(out, ",\"recorded\":{recorded},\"count\":{}", spans.len());
+    out.push_str(",\"decomposition\":[");
+    for (class, row) in decompose(spans, n_classes).iter().enumerate() {
+        if class > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"class\":{class},\"count\":{},\"shed\":{}", row.count, row.shed);
+        let mean_us = |sum_ns: u64| {
+            if row.count == 0 {
+                0.0
+            } else {
+                sum_ns as f64 * 1e-3 / row.count as f64
+            }
+        };
+        for (key, val) in [
+            ("queue_us", mean_us(row.queue_ns)),
+            ("service_us", mean_us(row.service_ns)),
+            ("stretch_us", mean_us(row.stretch_ns)),
+            ("writeback_us", mean_us(row.writeback_ns)),
+        ] {
+            let _ = write!(out, ",\"mean_{key}\":");
+            push_json_f64(&mut out, val);
+        }
+        out.push('}');
+    }
+    out.push_str("],\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        s.push_json(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn span(class: u32, queue: u64, service: u64, nominal: u64, writeback: u64) -> SpanRecord {
+        SpanRecord {
+            seq: 0,
+            class,
+            shard: 0,
+            admitted: true,
+            cost: 1.0,
+            queue_ns: queue,
+            service_ns: service,
+            nominal_ns: nominal,
+            writeback_ns: writeback,
+        }
+    }
+
+    #[test]
+    fn decomposition_components_sum_to_total() {
+        let s = span(0, 400, 1_000, 600, 50);
+        assert_eq!(
+            s.queue_ns + s.ideal_service_ns() + s.stretch_ns() + s.writeback_ns,
+            s.total_ns()
+        );
+        assert_eq!(s.stretch_ns(), 400);
+        assert!((s.slowdown().unwrap() - 1_450.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_spans_in_seq_order() {
+        let ring = SpanRing::new(2, 8, 1.0);
+        for i in 0..20 {
+            assert!(ring.record(i % 2, span(0, i as u64, 0, 0, 0)));
+        }
+        let recent = ring.recent(100);
+        assert_eq!(recent.len(), 8, "capacity bounds retention");
+        assert!(recent.windows(2).all(|w| w[0].seq < w[1].seq), "oldest first");
+        assert_eq!(ring.recorded(), 20);
+        let newest = recent.last().unwrap().seq;
+        assert_eq!(newest, 19, "latest span retained");
+        assert_eq!(ring.recent(3).len(), 3, "max truncates from the old end");
+    }
+
+    #[test]
+    fn sampling_zero_disables_and_half_thins() {
+        let off = SpanRing::new(1, 8, 0.0);
+        assert!(!off.record(0, span(0, 0, 0, 0, 0)));
+        assert_eq!(off.recorded(), 0);
+
+        let half = SpanRing::new(1, 4096, 0.5);
+        let mut kept = 0;
+        for _ in 0..4000 {
+            if half.record(0, span(0, 0, 0, 0, 0)) {
+                kept += 1;
+            }
+        }
+        assert!((1500..=2500).contains(&kept), "p=0.5 kept {kept} of 4000");
+    }
+
+    #[test]
+    fn trace_json_parses_and_aggregates_per_class() {
+        let spans = vec![
+            span(0, 100, 1_000, 800, 10),
+            span(1, 300, 2_000, 1_000, 20),
+            SpanRecord { class: 1, admitted: false, ..SpanRecord::default() },
+        ];
+        let text = spans_to_json(&spans, 2, 1.0, 3);
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        let rows = v.get("decomposition").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("shed").unwrap().as_u64(), Some(1));
+        assert_eq!(rows[1].get("count").unwrap().as_u64(), Some(1));
+        let stretch = rows[1].get("mean_stretch_us").unwrap().as_f64().unwrap();
+        assert!((stretch - 1.0).abs() < 1e-9, "1000 ns stretch = 1 µs, got {stretch}");
+        assert_eq!(v.get("spans").unwrap().as_array().unwrap().len(), 3);
+    }
+}

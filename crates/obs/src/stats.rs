@@ -1,0 +1,152 @@
+//! Relaxed-atomic counters for internals that were previously
+//! invisible: timer-wheel cascade/fire activity, per-shard reactor
+//! loop behaviour, and admission draws vs sheds. The hot paths bump
+//! plain `AtomicU64`s (wait-free, no allocation); scrapes read them
+//! relaxed — each counter is independently consistent, which is all an
+//! exposition needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Timer-wheel activity counters (occupancy is the executor's
+/// in-flight count, reported alongside by the host).
+#[derive(Debug, Default)]
+pub struct WheelStats {
+    /// Timer-thread wakeups (alarm fires and ticks with work).
+    pub wakeups: AtomicU64,
+    /// Virtual-finish deadlines fired.
+    pub fires: AtomicU64,
+    /// Entries re-homed from an outer wheel level into a finer one.
+    pub cascades: AtomicU64,
+    /// Deadlines scheduled (including service-start reschedules).
+    pub scheduled: AtomicU64,
+}
+
+/// One reactor shard's event-loop counters.
+#[derive(Debug, Default)]
+pub struct ReactorShardStats {
+    /// Poller returns (one per loop iteration).
+    pub wakeups: AtomicU64,
+    /// Readiness events delivered across all wakeups.
+    pub events: AtomicU64,
+    /// Connections accepted on this shard.
+    pub accepts: AtomicU64,
+    /// Executor completions drained from the mailbox.
+    pub completions: AtomicU64,
+    /// Sum of mailbox batch sizes (mean depth = sum / drains).
+    pub mailbox_sum: AtomicU64,
+    /// Largest single mailbox drain observed.
+    pub mailbox_peak: AtomicU64,
+    /// Non-empty mailbox drains.
+    pub mailbox_drains: AtomicU64,
+    /// Idle sweeps executed.
+    pub sweeps: AtomicU64,
+    /// Connections retired by idle sweeps.
+    pub swept: AtomicU64,
+}
+
+impl ReactorShardStats {
+    /// Record one mailbox drain of `n` completions.
+    pub fn record_drain(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.completions.fetch_add(n, Ordering::Relaxed);
+        self.mailbox_sum.fetch_add(n, Ordering::Relaxed);
+        self.mailbox_drains.fetch_add(1, Ordering::Relaxed);
+        self.mailbox_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for exposition.
+    pub fn snapshot(&self) -> ReactorShardSnapshot {
+        ReactorShardSnapshot {
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            mailbox_sum: self.mailbox_sum.load(Ordering::Relaxed),
+            mailbox_peak: self.mailbox_peak.load(Ordering::Relaxed),
+            mailbox_drains: self.mailbox_drains.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            swept: self.swept.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scrape-side view of one shard's loop counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReactorShardSnapshot {
+    /// Poller returns.
+    pub wakeups: u64,
+    /// Readiness events delivered.
+    pub events: u64,
+    /// Connections accepted.
+    pub accepts: u64,
+    /// Completions drained.
+    pub completions: u64,
+    /// Sum of drain batch sizes.
+    pub mailbox_sum: u64,
+    /// Largest drain batch.
+    pub mailbox_peak: u64,
+    /// Non-empty drains.
+    pub mailbox_drains: u64,
+    /// Idle sweeps.
+    pub sweeps: u64,
+    /// Connections swept.
+    pub swept: u64,
+}
+
+impl ReactorShardSnapshot {
+    /// Mean readiness events delivered per poller wakeup.
+    pub fn events_per_wakeup(&self) -> f64 {
+        ratio(self.events, self.wakeups)
+    }
+
+    /// Mean completions per non-empty mailbox drain.
+    pub fn mean_mailbox_depth(&self) -> f64 {
+        ratio(self.mailbox_sum, self.mailbox_drains)
+    }
+
+    /// Mean connections retired per idle sweep.
+    pub fn mean_sweep_size(&self) -> f64 {
+        ratio(self.swept, self.sweeps)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Admission-control door counters.
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    /// Admission decisions drawn (one per class-request arrival).
+    pub draws: AtomicU64,
+    /// Requests turned away by the draw.
+    pub sheds: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_accounting_tracks_peak_and_mean() {
+        let s = ReactorShardStats::default();
+        s.record_drain(0); // empty drains are not drains
+        s.record_drain(3);
+        s.record_drain(1);
+        s.wakeups.fetch_add(2, Ordering::Relaxed);
+        s.events.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.completions, 4);
+        assert_eq!(snap.mailbox_peak, 3);
+        assert_eq!(snap.mailbox_drains, 2);
+        assert!((snap.mean_mailbox_depth() - 2.0).abs() < 1e-12);
+        assert!((snap.events_per_wakeup() - 2.5).abs() < 1e-12);
+        assert_eq!(ReactorShardSnapshot::default().mean_sweep_size(), 0.0);
+    }
+}

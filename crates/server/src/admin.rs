@@ -3,8 +3,12 @@
 //! | route | method | semantics |
 //! |---|---|---|
 //! | `/metrics` | `GET` | JSON snapshot: controller kind, epochs, published rates & admission probabilities, per-class completed/shed/backlog/mean-slowdown |
+//! | `/metrics/prometheus` | `GET` | the same signals plus engine internals (timer wheel, reactor shards, admission door, latency histograms) in Prometheus text format 0.0.4 |
 //! | `/config`  | `GET` | JSON view of the epoch-stamped class table |
 //! | `/config`  | `PUT`/`POST` | hot reconfiguration via query parameters |
+//! | `/healthz` | `GET` | liveness: engine, shard count, uptime, epochs |
+//! | `/trace`   | `GET` | recent request spans (`?n=` caps the count) with the per-class queueing/service/stretch/write-back decomposition |
+//! | `/trace/control` | `GET` | the control-decision flight recorder: one `ControlTrace` per window, JSON-replayable through `psd_obs::replay` |
 //!
 //! `PUT /config` accepts any subset of:
 //!
@@ -30,6 +34,7 @@
 //! observe an overloaded server while it sheds.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -37,13 +42,36 @@ use crate::classify::{admin_route, AdminRoute};
 use crate::codec::{HttpRequest, Response};
 use crate::server::PsdServer;
 use psd_core::control::ControllerKind;
+use psd_obs::{spans_to_json, PromWriter, ReactorShardStats};
+
+/// How many spans `GET /trace` returns when the request does not cap
+/// the count with `?n=`.
+const DEFAULT_TRACE_SPANS: usize = 512;
+
+/// Engine-side context the front-end hands to every admin call: which
+/// engine is serving and (reactor only) the per-shard loop counters.
+/// Built from references so constructing one on the request path costs
+/// nothing.
+pub(crate) struct AdminInfo<'a> {
+    /// Engine token (`"threads"` | `"reactor"`).
+    pub(crate) engine: &'static str,
+    /// Reactor event-loop shard counters, empty for the threaded
+    /// engine.
+    pub(crate) shard_stats: &'a [Arc<ReactorShardStats>],
+}
 
 /// Serve `req` if it targets an admin route. `keep_alive` is the
 /// connection policy the caller already decided (drain-aware).
-pub(crate) fn handle(server: &PsdServer, req: &HttpRequest, keep_alive: bool) -> Option<Response> {
+pub(crate) fn handle(
+    server: &PsdServer,
+    req: &HttpRequest,
+    keep_alive: bool,
+    info: &AdminInfo<'_>,
+) -> Option<Response> {
     let route = admin_route(&req.path)?;
     Some(match (route, req.method.as_str()) {
         (AdminRoute::Metrics, "GET") => json_response(req, keep_alive, 200, metrics_json(server)),
+        (AdminRoute::MetricsProm, "GET") => prom_response(req, keep_alive, prom_text(server, info)),
         (AdminRoute::Config, "GET") => json_response(req, keep_alive, 200, config_json(server)),
         (AdminRoute::Config, "PUT" | "POST") => match apply_config(server, req) {
             Ok(()) => json_response(req, keep_alive, 200, config_json(server)),
@@ -51,6 +79,13 @@ pub(crate) fn handle(server: &PsdServer, req: &HttpRequest, keep_alive: bool) ->
                 json_response(req, keep_alive, 400, format!("{{\"error\":{}}}", json_str(&e)))
             }
         },
+        (AdminRoute::Healthz, "GET") => {
+            json_response(req, keep_alive, 200, healthz_json(server, info))
+        }
+        (AdminRoute::Trace, "GET") => json_response(req, keep_alive, 200, trace_json(server, req)),
+        (AdminRoute::TraceControl, "GET") => {
+            json_response(req, keep_alive, 200, server.obs().flight.to_json())
+        }
         _ => json_response(req, keep_alive, 405, "{\"error\":\"method not allowed\"}".to_string()),
     })
 }
@@ -67,6 +102,19 @@ fn json_response(req: &HttpRequest, keep_alive: bool, status: u16, body: String)
         reason,
         keep_alive,
         extra_headers: vec![("Content-Type", "application/json".to_string())],
+        body: Bytes::from(body.into_bytes()),
+    }
+}
+
+/// `200 OK` carrying the Prometheus exposition with its versioned
+/// content type (scrapers negotiate on it).
+fn prom_response(req: &HttpRequest, keep_alive: bool, body: String) -> Response {
+    Response {
+        http11: req.http11,
+        status: 200,
+        reason: "OK",
+        keep_alive,
+        extra_headers: vec![("Content-Type", psd_obs::prom::CONTENT_TYPE.to_string())],
         body: Bytes::from(body.into_bytes()),
     }
 }
@@ -153,6 +201,160 @@ fn metrics_json(server: &PsdServer) -> String {
         json_f64_array(&control.rates()),
         json_f64_array(&control.admit_probabilities()),
     )
+}
+
+fn healthz_json(server: &PsdServer, info: &AdminInfo<'_>) -> String {
+    let control = server.control();
+    let applied = control.applied_epoch();
+    let t = control.table();
+    format!(
+        "{{\"status\":\"ok\",\"engine\":{},\"shards\":{},\"classes\":{},\
+         \"uptime_s\":{:.3},\"epoch\":{},\"applied_epoch\":{applied},\
+         \"trace_sample\":{}}}",
+        json_str(info.engine),
+        info.shard_stats.len(),
+        server.num_classes(),
+        server.started_at().elapsed().as_secs_f64(),
+        t.epoch,
+        server.obs().spans.sample_rate(),
+    )
+}
+
+fn trace_json(server: &PsdServer, req: &HttpRequest) -> String {
+    let mut max = DEFAULT_TRACE_SPANS;
+    if let Some(q) = req.query.as_deref() {
+        for kv in q.split('&') {
+            if let Some(v) = kv.strip_prefix("n=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    max = n;
+                }
+            }
+        }
+    }
+    let spans = server.obs().spans.recent(max);
+    spans_to_json(
+        &spans,
+        server.num_classes(),
+        server.obs().spans.sample_rate(),
+        server.obs().spans.recorded(),
+    )
+}
+
+/// Render the whole Prometheus exposition: control plane, per-class
+/// service stats, latency histograms, and the engine internals that
+/// the JSON `/metrics` never carried (timer-wheel cascade activity,
+/// per-shard reactor loop behaviour, admission door counters).
+fn prom_text(server: &PsdServer, info: &AdminInfo<'_>) -> String {
+    let control = server.control();
+    let applied = control.applied_epoch();
+    let t = control.table();
+    let stats = server.stats();
+    let telemetry = server.obs();
+    let mut w = PromWriter::new();
+
+    w.help("psd_server_info", "gauge", "Constant 1, labeled with the serving engine.");
+    w.sample("psd_server_info", &[("engine", info.engine)], 1.0);
+    w.help("psd_uptime_seconds", "gauge", "Seconds since the server started.");
+    w.sample("psd_uptime_seconds", &[], server.started_at().elapsed().as_secs_f64());
+
+    w.help("psd_controller_epoch", "gauge", "Config-table epoch (bumped by PUT /config).");
+    w.sample("psd_controller_epoch", &[], t.epoch as f64);
+    w.help("psd_controller_applied_epoch", "gauge", "Epoch the monitor last published under.");
+    w.sample("psd_controller_applied_epoch", &[], applied as f64);
+
+    let rates = control.rates();
+    let admit = control.admit_probabilities();
+    w.help("psd_rate", "gauge", "Published per-class processing-rate share.");
+    w.help("psd_admit_probability", "gauge", "Published per-class admission probability.");
+    w.help("psd_requests_completed_total", "counter", "Requests completed per class.");
+    w.help("psd_requests_shed_total", "counter", "Requests shed at the door per class.");
+    w.help("psd_backlog", "gauge", "Requests queued or in service per class.");
+    w.help("psd_mean_slowdown", "gauge", "Mean slowdown of completed requests per class.");
+    let mut label = String::new();
+    for (i, c) in stats.classes.iter().enumerate() {
+        label.clear();
+        let _ = write!(label, "{i}");
+        let class: &[(&str, &str)] = &[("class", &label)];
+        w.sample("psd_rate", class, rates.get(i).copied().unwrap_or(0.0));
+        w.sample("psd_admit_probability", class, admit.get(i).copied().unwrap_or(1.0));
+        w.sample("psd_requests_completed_total", class, c.completed as f64);
+        w.sample("psd_requests_shed_total", class, c.shed as f64);
+        w.sample("psd_backlog", class, server.backlog(i) as f64);
+        w.sample("psd_mean_slowdown", class, c.mean_slowdown);
+    }
+
+    w.help(
+        "psd_request_duration_seconds",
+        "histogram",
+        "End-to-end request latency (admit to response write) per class.",
+    );
+    for (i, h) in telemetry.latency.iter().enumerate() {
+        label.clear();
+        let _ = write!(label, "{i}");
+        w.histogram("psd_request_duration_seconds", &[("class", &label)], &h.snapshot());
+    }
+
+    w.help("psd_admission_draws_total", "counter", "Admission decisions drawn at the door.");
+    w.sample(
+        "psd_admission_draws_total",
+        &[],
+        telemetry.admission.draws.load(std::sync::atomic::Ordering::Relaxed) as f64,
+    );
+    w.help("psd_admission_sheds_total", "counter", "Requests turned away by the admission draw.");
+    w.sample(
+        "psd_admission_sheds_total",
+        &[],
+        telemetry.admission.sheds.load(std::sync::atomic::Ordering::Relaxed) as f64,
+    );
+
+    w.help("psd_trace_spans_recorded_total", "counter", "Request spans kept by the trace ring.");
+    w.sample("psd_trace_spans_recorded_total", &[], telemetry.spans.recorded() as f64);
+    w.help("psd_control_traces_recorded_total", "counter", "Control windows flight-recorded.");
+    w.sample("psd_control_traces_recorded_total", &[], telemetry.flight.recorded() as f64);
+
+    if let Some((wheel, in_flight)) = server.wheel_stats() {
+        use std::sync::atomic::Ordering::Relaxed;
+        w.help("psd_wheel_wakeups_total", "counter", "Timer-wheel thread wakeups.");
+        w.sample("psd_wheel_wakeups_total", &[], wheel.wakeups.load(Relaxed) as f64);
+        w.help("psd_wheel_fires_total", "counter", "Virtual-finish deadlines fired.");
+        w.sample("psd_wheel_fires_total", &[], wheel.fires.load(Relaxed) as f64);
+        w.help("psd_wheel_cascades_total", "counter", "Entries cascaded between wheel levels.");
+        w.sample("psd_wheel_cascades_total", &[], wheel.cascades.load(Relaxed) as f64);
+        w.help("psd_wheel_scheduled_total", "counter", "Deadlines scheduled on the wheel.");
+        w.sample("psd_wheel_scheduled_total", &[], wheel.scheduled.load(Relaxed) as f64);
+        w.help("psd_wheel_in_flight", "gauge", "Requests accepted and not yet fired.");
+        w.sample("psd_wheel_in_flight", &[], in_flight as f64);
+    }
+
+    if !info.shard_stats.is_empty() {
+        w.help("psd_reactor_wakeups_total", "counter", "Poller returns per reactor shard.");
+        w.help("psd_reactor_events_total", "counter", "Readiness events per reactor shard.");
+        w.help("psd_reactor_accepts_total", "counter", "Connections accepted per shard.");
+        w.help("psd_reactor_completions_total", "counter", "Completions drained per shard.");
+        w.help("psd_reactor_sweeps_total", "counter", "Idle sweeps per shard.");
+        w.help("psd_reactor_swept_total", "counter", "Connections reaped by idle sweeps.");
+        w.help("psd_reactor_mailbox_peak", "gauge", "Largest mailbox drain batch per shard.");
+        w.help("psd_reactor_events_per_wakeup", "gauge", "Mean readiness events per wakeup.");
+        w.help("psd_reactor_mean_mailbox_depth", "gauge", "Mean completions per mailbox drain.");
+        w.help("psd_reactor_mean_sweep_size", "gauge", "Mean connections reaped per sweep.");
+        for (i, s) in info.shard_stats.iter().enumerate() {
+            let snap = s.snapshot();
+            label.clear();
+            let _ = write!(label, "{i}");
+            let shard: &[(&str, &str)] = &[("shard", &label)];
+            w.sample("psd_reactor_wakeups_total", shard, snap.wakeups as f64);
+            w.sample("psd_reactor_events_total", shard, snap.events as f64);
+            w.sample("psd_reactor_accepts_total", shard, snap.accepts as f64);
+            w.sample("psd_reactor_completions_total", shard, snap.completions as f64);
+            w.sample("psd_reactor_sweeps_total", shard, snap.sweeps as f64);
+            w.sample("psd_reactor_swept_total", shard, snap.swept as f64);
+            w.sample("psd_reactor_mailbox_peak", shard, snap.mailbox_peak as f64);
+            w.sample("psd_reactor_events_per_wakeup", shard, snap.events_per_wakeup());
+            w.sample("psd_reactor_mean_mailbox_depth", shard, snap.mean_mailbox_depth());
+            w.sample("psd_reactor_mean_sweep_size", shard, snap.mean_sweep_size());
+        }
+    }
+    w.into_string()
 }
 
 /// Parse the `PUT /config` query parameters and commit them as one

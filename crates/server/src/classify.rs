@@ -25,8 +25,18 @@ pub enum AdminRoute {
     /// `GET /metrics` — JSON snapshot of the control plane and the
     /// per-class statistics.
     Metrics,
+    /// `GET /metrics/prometheus` — the same signals (plus engine
+    /// internals) in Prometheus text exposition format 0.0.4.
+    MetricsProm,
     /// `GET /config` (read) / `PUT /config?…` (hot reconfiguration).
     Config,
+    /// `GET /healthz` — liveness: engine, shards, uptime, epochs.
+    Healthz,
+    /// `GET /trace` — recent request spans with the per-stage slowdown
+    /// decomposition (queueing vs stretch vs service vs write-back).
+    Trace,
+    /// `GET /trace/control` — the control-decision flight recorder.
+    TraceControl,
 }
 
 /// Recognize an admin path. Admin routes win over classification: a
@@ -34,7 +44,11 @@ pub enum AdminRoute {
 pub fn admin_route(path: &str) -> Option<AdminRoute> {
     match path {
         "/metrics" => Some(AdminRoute::Metrics),
+        "/metrics/prometheus" => Some(AdminRoute::MetricsProm),
         "/config" => Some(AdminRoute::Config),
+        "/healthz" => Some(AdminRoute::Healthz),
+        "/trace" => Some(AdminRoute::Trace),
+        "/trace/control" => Some(AdminRoute::TraceControl),
         _ => None,
     }
 }
@@ -97,8 +111,13 @@ mod tests {
     #[test]
     fn admin_routes_recognized() {
         assert_eq!(admin_route("/metrics"), Some(AdminRoute::Metrics));
+        assert_eq!(admin_route("/metrics/prometheus"), Some(AdminRoute::MetricsProm));
         assert_eq!(admin_route("/config"), Some(AdminRoute::Config));
+        assert_eq!(admin_route("/healthz"), Some(AdminRoute::Healthz));
+        assert_eq!(admin_route("/trace"), Some(AdminRoute::Trace));
+        assert_eq!(admin_route("/trace/control"), Some(AdminRoute::TraceControl));
         assert_eq!(admin_route("/metrics/x"), None, "exact paths only");
+        assert_eq!(admin_route("/trace/x"), None);
         assert_eq!(admin_route("/class0/metrics"), None);
     }
 

@@ -192,6 +192,72 @@ pub(crate) fn write_ok_response(
     out.extend_from_slice(scratch);
 }
 
+/// Record one completed request into the trace ring and the latency
+/// histogram. Assembled exactly once, at respond time, from values the
+/// response path already has — the only extra work on the hot path is
+/// one sampling draw and (when kept) a slot overwrite; no allocation.
+/// `total` is admit-to-respond; write-back is whatever of it the queue
+/// and the task server cannot account for.
+pub(crate) fn record_span(
+    server: &PsdServer,
+    shard: usize,
+    class: usize,
+    cost: f64,
+    done: &Completion,
+    total: Duration,
+) {
+    let telemetry = server.obs();
+    let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+    let queue_ns = (done.delay_s.max(0.0) * 1e9) as u64;
+    let service_ns = (done.service_s.max(0.0) * 1e9) as u64;
+    telemetry.spans.record(
+        shard,
+        psd_obs::SpanRecord {
+            seq: 0,
+            class: class as u32,
+            shard: shard as u32,
+            admitted: true,
+            cost,
+            queue_ns,
+            service_ns,
+            nominal_ns: (cost * server.work_unit().as_secs_f64() * 1e9) as u64,
+            writeback_ns: total_ns.saturating_sub(queue_ns.saturating_add(service_ns)),
+        },
+    );
+    telemetry.observe_latency_ns(class, total_ns);
+}
+
+/// Record a request turned away by the admission draw (zero timing
+/// stages, `admitted: false`) so `/trace` decompositions account shed
+/// load per class.
+pub(crate) fn record_shed_span(server: &PsdServer, shard: usize, class: usize, cost: f64) {
+    server.obs().spans.record(
+        shard,
+        psd_obs::SpanRecord {
+            seq: 0,
+            class: class as u32,
+            shard: shard as u32,
+            admitted: false,
+            cost,
+            queue_ns: 0,
+            service_ns: 0,
+            nominal_ns: (cost * server.work_unit().as_secs_f64() * 1e9) as u64,
+            writeback_ns: 0,
+        },
+    );
+}
+
+/// A stable per-thread index for sharding trace-ring writes from the
+/// threaded engine (the reactor uses its shard index instead).
+fn span_shard() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ID: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
 /// `400 Bad Request`, always closing (malformed head — the framing is
 /// unknown, so the HTTP/1.0 status line is the safe common ground).
 pub(crate) fn bad_request() -> Response {
@@ -262,7 +328,8 @@ fn handle_connection(
                 let keep = req.keep_alive() && req.framed() && !stop.load(Ordering::SeqCst);
                 // Admin routes are served by the front-end itself —
                 // never classified, admitted or queued.
-                if let Some(resp) = crate::admin::handle(server, &req, keep) {
+                let info = crate::admin::AdminInfo { engine: "threads", shard_stats: &[] };
+                if let Some(resp) = crate::admin::handle(server, &req, keep, &info) {
                     let closing = !resp.keep_alive;
                     if stream.write_all(&resp.to_bytes()).is_err() || closing {
                         return;
@@ -270,10 +337,12 @@ fn handle_connection(
                     idle_since = Instant::now();
                     continue;
                 }
+                let since = Instant::now();
                 let (class, cost) = class_and_cost(server, &req, default_cost);
                 // Admission shedding: the control plane's per-class
                 // probabilities, highest classes protected.
                 if !server.admit(class, cost) {
+                    record_shed_span(server, span_shard(), class, cost);
                     let _ = stream.write_all(&shed_response(req.http11).to_bytes());
                     return;
                 }
@@ -281,7 +350,11 @@ fn handle_connection(
                     Some(done) => {
                         out.clear();
                         write_ok_response(&mut out, &mut scratch, &req, class, cost, &done, keep);
-                        stream.write_all(&out)
+                        let written = stream.write_all(&out);
+                        // Threaded engine spans include the socket
+                        // write: write-back here is real write-back.
+                        record_span(server, span_shard(), class, cost, &done, since.elapsed());
+                        written
                     }
                     None => {
                         let _ = stream.write_all(&service_unavailable(req.http11).to_bytes());

@@ -47,6 +47,16 @@
 //!             │  both: record delay/slowdown into per-executor metric   │
 //!             │  shards (swept per window AND at snapshot), deliver     │
 //!             │  CompletionNotify                                       │
+//!             └──────────────────────────┬──────────────────────────────┘
+//!                                        │ psd-obs (allocation-free)
+//!             ┌──────────────────────────▼──────────────────────────────┐
+//!             │ ObsBundle: span ring (sampled request traces, stage     │
+//!             │ decomposition), per-class log-bucket latency histograms,│
+//!             │ admission door counters, control-decision flight        │
+//!             │ recorder (one ControlTrace per window, replayable       │
+//!             │ through desim's controller)                             │
+//!             │   GET /healthz · /trace · /trace/control ·              │
+//!             │   /metrics/prometheus  (served by both engines)         │
 //!             └─────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -87,12 +97,15 @@
 //! {threads,reactor}`, sizes the reactor with `--shards N`, and
 //! selects the control plane with `--controller {open,feedback}`,
 //! `--gain` and `--admission-cap`. The admin route family
-//! (`GET /metrics`, `GET`/`PUT /config` — hot reconfiguration of δ's,
-//! gain and admission cap without restart, epoch-ordered at control
-//! window boundaries) is served by both engines ahead of
-//! classification; see `admin` and [`SharedControl`]. The timer-wheel
-//! execution engine lives in `wheel` (internal), the shared
-//! sleep-overshoot calibration in [`timing`].
+//! (`GET /metrics`, `GET /metrics/prometheus`, `GET`/`PUT /config` —
+//! hot reconfiguration of δ's, gain and admission cap without restart,
+//! epoch-ordered at control window boundaries — plus the observability
+//! routes `GET /healthz`, `GET /trace` and `GET /trace/control`) is
+//! served by both engines ahead of classification; see `admin` and
+//! [`SharedControl`]. Request tracing, Prometheus exposition and the
+//! control-decision flight recorder come from the dependency-free
+//! `psd-obs` crate; the timer-wheel execution engine lives in `wheel`
+//! (internal), the shared sleep-overshoot calibration in [`timing`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

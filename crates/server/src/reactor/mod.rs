@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use polling::{Interest, Poller};
+use psd_obs::ReactorShardStats;
 
 use crate::server::{Completion, PsdServer};
 use crate::FrontendConfig;
@@ -93,6 +94,9 @@ pub(crate) struct Shared {
     pub(crate) exited: Mutex<bool>,
     pub(crate) exited_cv: Condvar,
     pub(crate) global: Arc<Global>,
+    /// This shard's event-loop counters, shared with the admin
+    /// exposition (`GET /metrics/prometheus`).
+    pub(crate) stats: Arc<ReactorShardStats>,
 }
 
 impl Shared {
@@ -140,6 +144,7 @@ impl Handle {
                 exited: Mutex::new(false),
                 exited_cv: Condvar::new(),
                 global: Arc::clone(&global),
+                stats: Arc::new(ReactorShardStats::default()),
             }));
         }
         shareds[0].poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;

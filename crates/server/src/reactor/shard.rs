@@ -41,10 +41,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use polling::{Event, Interest};
+use psd_obs::ReactorShardStats;
 
 use crate::codec::{HttpRequest, RequestCodec, WriteBuf};
 use crate::httplite::{
-    bad_request, class_and_cost, service_unavailable, shed_response, write_ok_response,
+    bad_request, class_and_cost, record_shed_span, record_span, service_unavailable, shed_response,
+    write_ok_response,
 };
 use crate::server::{Completion, PsdServer};
 use crate::FrontendConfig;
@@ -59,8 +61,10 @@ const POOL_CAP: usize = 256;
 enum Phase {
     /// Parsing the next request; read interest.
     Reading,
-    /// Request submitted to the PSD queue; no epoll interest.
-    Waiting { req: HttpRequest, class: usize, cost: f64 },
+    /// Request submitted to the PSD queue; no epoll interest. `since`
+    /// is the coarse-clock instant of admission — the span's total
+    /// lifetime starts there.
+    Waiting { req: HttpRequest, class: usize, cost: f64, since: Instant },
     /// Draining the write buffer; write interest.
     Flushing { then_close: bool },
 }
@@ -104,6 +108,12 @@ pub(super) struct ShardLoop {
     body_scratch: Vec<u8>,
     /// Reused key list for idle sweeps / drains.
     key_scratch: Vec<usize>,
+    /// This shard's loop counters (a clone of `shared.stats`).
+    stats: Arc<ReactorShardStats>,
+    /// Every shard's counters, in shard order, for the admin
+    /// exposition. Collected once at construction so building an
+    /// [`crate::admin::AdminInfo`] per request allocates nothing.
+    peer_stats: Vec<Arc<ReactorShardStats>>,
 }
 
 impl ShardLoop {
@@ -116,6 +126,8 @@ impl ShardLoop {
         shared: Arc<Shared>,
     ) -> Self {
         let accepting = listener.is_some();
+        let stats = Arc::clone(&shared.stats);
+        let peer_stats = peers.iter().map(|p| Arc::clone(&p.stats)).collect();
         Self {
             listener,
             peers,
@@ -131,6 +143,8 @@ impl ShardLoop {
             pool: Vec::new(),
             body_scratch: Vec::new(),
             key_scratch: Vec::new(),
+            stats,
+            peer_stats,
         }
     }
 
@@ -155,6 +169,10 @@ impl ShardLoop {
             // One clock read per iteration: every event handled below
             // is stamped with this instant.
             self.now = Instant::now();
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            if !events.is_empty() {
+                self.stats.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+            }
             // Handed-off streams from the accepting shard.
             if !self.shared.inbox.lock().streams.is_empty() {
                 std::mem::swap(&mut self.shared.inbox.lock().streams, &mut streams);
@@ -171,6 +189,7 @@ impl ShardLoop {
                 let mut mb = self.shared.mailbox.lock();
                 std::mem::swap(&mut *mb, &mut completions);
             }
+            self.stats.record_drain(completions.len() as u64);
             for (key, done) in completions.drain(..) {
                 self.on_complete(key, done);
             }
@@ -262,6 +281,7 @@ impl ShardLoop {
                         continue;
                     }
                     self.shared.global.live.fetch_add(1, Ordering::SeqCst);
+                    self.stats.accepts.fetch_add(1, Ordering::Relaxed);
                     // Round-robin assignment across shards; the target
                     // shard registers the fd with its own poller.
                     let target = self.rr_next % self.peers.len();
@@ -369,7 +389,8 @@ impl ShardLoop {
     fn begin_request(&mut self, key: usize, req: HttpRequest) {
         let draining = self.shared.stop.load(Ordering::SeqCst);
         let keep = req.keep_alive() && req.framed() && !draining;
-        if let Some(resp) = crate::admin::handle(&self.server, &req, keep) {
+        let info = crate::admin::AdminInfo { engine: "reactor", shard_stats: &self.peer_stats };
+        if let Some(resp) = crate::admin::handle(&self.server, &req, keep, &info) {
             let Some(conn) = self.conns.get_mut(&key) else { return };
             conn.out.push_response(&resp);
             conn.phase = Phase::Flushing { then_close: !resp.keep_alive };
@@ -378,6 +399,7 @@ impl ShardLoop {
         }
         let (class, cost) = class_and_cost(&self.server, &req, self.cfg.default_cost);
         if !self.server.admit(class, cost) {
+            record_shed_span(&self.server, self.self_index, class, cost);
             let Some(conn) = self.conns.get_mut(&key) else { return };
             conn.out.push_response(&shed_response(req.http11));
             conn.phase = Phase::Flushing { then_close: true };
@@ -385,8 +407,9 @@ impl ShardLoop {
             return;
         }
         let http11 = req.http11;
+        let since = self.now;
         let Some(conn) = self.conns.get_mut(&key) else { return };
-        conn.phase = Phase::Waiting { req, class, cost };
+        conn.phase = Phase::Waiting { req, class, cost, since };
         if conn.registration.take().is_some() {
             let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
         }
@@ -411,7 +434,7 @@ impl ShardLoop {
         if !matches!(conn.phase, Phase::Waiting { .. }) {
             return; // stale completion for a recycled state: ignore
         }
-        let Phase::Waiting { req, class, cost } =
+        let Phase::Waiting { req, class, cost, since } =
             std::mem::replace(&mut conn.phase, Phase::Reading)
         else {
             unreachable!("checked above");
@@ -421,6 +444,11 @@ impl ShardLoop {
         let keep = req.keep_alive() && req.framed() && !draining;
         let scratch = &mut self.body_scratch;
         conn.out.append_with(|out| write_ok_response(out, scratch, &req, class, cost, &done, keep));
+        // Span assembled once at respond time: the write-back stage is
+        // the mailbox + wakeup delivery latency (total minus queueing
+        // minus service), measured on the coarse per-iteration clock.
+        let total = self.now.saturating_duration_since(since);
+        record_span(&self.server, self.self_index, class, cost, &done, total);
         conn.phase = Phase::Flushing { then_close: !keep };
         self.flush(key);
     }
@@ -493,6 +521,10 @@ impl ShardLoop {
                 })
                 .map(|(&k, _)| k),
         );
+        self.stats.sweeps.fetch_add(1, Ordering::Relaxed);
+        if !self.key_scratch.is_empty() {
+            self.stats.swept.fetch_add(self.key_scratch.len() as u64, Ordering::Relaxed);
+        }
         let mut keys = std::mem::take(&mut self.key_scratch);
         for key in keys.drain(..) {
             self.close(key);

@@ -10,6 +10,7 @@ use parking_lot::{Condvar, Mutex};
 use psd_core::control::{
     build_controller, ClassTable, ControllerKind, RateController, SharedControl, WindowObservation,
 };
+use psd_obs::{ControlTrace, ObsBundle, ObsConfig};
 use psd_propshare::{Drr, Lottery, Stride, Wfq};
 
 use crate::metrics::{MetricsRecorder, MetricsSink, ServerStats};
@@ -100,6 +101,17 @@ pub struct ServerConfig {
     /// rejected by [`PsdServer::admit`] are answered `503` upstream.
     /// `None` disables admission control.
     pub admission_cap: Option<f64>,
+    /// Request-trace sampling probability in `[0, 1]` (`--trace-sample`).
+    /// Every sampled request writes one span into the observability
+    /// ring; `0` disables span tracing entirely (counters, histograms
+    /// and the flight recorder stay on — they are not per-request
+    /// allocations either way).
+    pub trace_sample: f64,
+    /// Total span slots retained across the trace ring's shards.
+    pub trace_capacity: usize,
+    /// Control windows retained by the control-decision flight
+    /// recorder (`GET /trace/control`).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +133,9 @@ impl Default for ServerConfig {
             controller: ControllerKind::Open,
             gain: 0.3,
             admission_cap: None,
+            trace_sample: 1.0,
+            trace_capacity: 4096,
+            flight_capacity: 256,
         }
     }
 }
@@ -225,6 +240,9 @@ pub struct PsdServer {
     workers: Vec<JoinHandle<()>>,
     monitor: Option<JoinHandle<()>>,
     n_classes: usize,
+    obs: Arc<ObsBundle>,
+    work_unit: Duration,
+    started: Instant,
 }
 
 impl PsdServer {
@@ -250,6 +268,15 @@ impl PsdServer {
         }));
         let shed: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let stop = Arc::new(StopFlag::new());
+        let obs = Arc::new(ObsBundle::new(
+            n,
+            ObsConfig {
+                span_capacity: cfg.trace_capacity,
+                sample: cfg.trace_sample,
+                flight_capacity: cfg.flight_capacity,
+                ..ObsConfig::default()
+            },
+        ));
 
         let use_wheel =
             cfg.scheduler == SchedulerKind::RatePartition && cfg.workload == Workload::Sleep;
@@ -307,11 +334,12 @@ impl PsdServer {
             let metrics = Arc::clone(&metrics);
             let control = Arc::clone(&control);
             let stop = Arc::clone(&stop);
+            let telemetry = Arc::clone(&obs);
             let cfg = cfg.clone();
             Some(thread::spawn(move || {
                 monitor_loop(
                     &cfg, &exec, &arrivals, &work, &shed_work, &metrics, &control, &stop,
-                    controller, table, initial,
+                    &telemetry, controller, table, initial,
                 )
             }))
         };
@@ -328,6 +356,9 @@ impl PsdServer {
             workers,
             monitor,
             n_classes: n,
+            obs,
+            work_unit: cfg.work_unit,
+            started: Instant::now(),
         }
     }
 
@@ -385,9 +416,11 @@ impl PsdServer {
     /// one relaxed atomic load.
     pub fn admit(&self, class: usize, cost: f64) -> bool {
         let class = class.min(self.n_classes - 1);
+        self.obs.admission.draws.fetch_add(1, Ordering::Relaxed);
         if self.control.admit(class) {
             true
         } else {
+            self.obs.admission.sheds.fetch_add(1, Ordering::Relaxed);
             self.shed[class].fetch_add(1, Ordering::Relaxed);
             self.window_shed_mu[class]
                 .fetch_add((cost.max(0.0) * 1000.0).round() as u64, Ordering::Relaxed);
@@ -400,6 +433,35 @@ impl PsdServer {
     /// hot-reconfiguration entry point the admin endpoints use.
     pub fn control(&self) -> &SharedControl {
         &self.control
+    }
+
+    /// The observability bundle the frontends and admin routes write
+    /// into and scrape from: the request-span ring, per-class latency
+    /// histograms, admission counters and the control-decision flight
+    /// recorder.
+    pub fn obs(&self) -> &Arc<ObsBundle> {
+        &self.obs
+    }
+
+    /// The configured wall-clock duration of one work unit — what the
+    /// span decomposition uses to compute a request's nominal
+    /// (full-rate) service time.
+    pub fn work_unit(&self) -> Duration {
+        self.work_unit
+    }
+
+    /// When this server started (for `/healthz` uptime).
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
+    /// Timer-wheel activity counters and current occupancy, when this
+    /// server runs on the wheel (`None` for the worker-pool engines).
+    pub fn wheel_stats(&self) -> Option<(&psd_obs::WheelStats, usize)> {
+        match &*self.exec {
+            Exec::Wheel(w) => Some((w.stats(), w.in_flight())),
+            Exec::Pool(_) => None,
+        }
     }
 
     /// Requests shed at admission for one class.
@@ -536,6 +598,7 @@ fn monitor_loop(
     metrics: &MetricsSink,
     control: &SharedControl,
     stop: &StopFlag,
+    telemetry: &ObsBundle,
     mut controller: Box<dyn RateController + Send>,
     mut table: ClassTable,
     mut current_rates: Vec<f64>,
@@ -584,11 +647,22 @@ fn monitor_loop(
         window_start = now_s;
 
         let directive = controller.control(now_s, &obs);
-        if let Some(rates) = directive.rates {
-            exec.set_weights(&rates);
-            current_rates = rates;
+        if let Some(rates) = &directive.rates {
+            exec.set_weights(rates);
+            current_rates = rates.clone();
         }
         control.publish(table.epoch, &current_rates, directive.admit_probability.as_deref());
+        // Flight-record the full decision — what the controller saw,
+        // what it answered, what went into force, and its internals —
+        // after publishing so telemetry never delays the control path.
+        telemetry.flight.record(ControlTrace {
+            at_s: now_s,
+            epoch: table.epoch,
+            observation: obs,
+            directive,
+            applied_rates: current_rates.clone(),
+            internals: controller.internals(),
+        });
     }
 }
 

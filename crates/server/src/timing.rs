@@ -84,10 +84,20 @@ mod tests {
 
     #[test]
     fn sleep_until_lands_near_the_deadline() {
-        let target = Instant::now() + Duration::from_millis(5);
-        sleep_until(target);
-        let late = Instant::now().saturating_duration_since(target);
-        assert!(late < Duration::from_millis(15), "woke {late:?} past the deadline");
+        // Scheduler noise on a loaded CI box can push any single wait
+        // tens of milliseconds late; what must hold is that the
+        // *mechanism* lands near the deadline when the OS cooperates.
+        // Take the best of a few attempts so one preempted wake cannot
+        // fail the test, while a systematic bias still would.
+        let best = (0..5)
+            .map(|_| {
+                let target = Instant::now() + Duration::from_millis(5);
+                sleep_until(target);
+                Instant::now().saturating_duration_since(target)
+            })
+            .min()
+            .unwrap();
+        assert!(best < Duration::from_millis(15), "best wake {best:?} past the deadline");
         // A deadline in the past returns immediately.
         let t = Instant::now();
         sleep_until(t - Duration::from_millis(1));

@@ -37,6 +37,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use psd_obs::WheelStats;
 
 use crate::metrics::{MetricsRecorder, MetricsSink};
 use crate::queues::{CompletionNotify, QueuedRequest, MAX_STRETCH, MIN_SHARE};
@@ -81,6 +82,9 @@ pub(crate) struct WheelCore<T> {
     now: u64,
     pending: usize,
     next_id: u64,
+    /// Entries re-homed from an outer level toward level 0, cumulative
+    /// — the cascade cost the exposition layer reports.
+    cascaded: u64,
     cancelled: HashSet<u64>,
     levels: Vec<Vec<Vec<Entry<T>>>>,
 }
@@ -91,9 +95,15 @@ impl<T> WheelCore<T> {
             now: 0,
             pending: 0,
             next_id: 0,
+            cascaded: 0,
             cancelled: HashSet::new(),
             levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
         }
+    }
+
+    /// Cumulative count of entries cascaded down a level.
+    pub(crate) fn cascaded(&self) -> u64 {
+        self.cascaded
     }
 
     /// Current wheel time in ticks.
@@ -204,6 +214,7 @@ impl<T> WheelCore<T> {
             }
             let slot = ((self.now >> shift) & (SLOTS as u64 - 1)) as usize;
             let mut tmp = mem::take(&mut self.levels[lvl][slot]);
+            self.cascaded += tmp.len() as u64;
             for e in tmp.drain(..) {
                 self.place(e);
             }
@@ -255,6 +266,8 @@ struct WheelShared {
     /// Requests accepted and not yet fired (in a FIFO or on the wheel).
     in_flight: AtomicUsize,
     recorder: MetricsRecorder,
+    /// Cascade/fire/wakeup counters for the exposition layer.
+    stats: WheelStats,
 }
 
 /// The rate-partitioned Sleep-workload execution engine: all classes'
@@ -282,6 +295,7 @@ impl WheelServers {
             closed: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             recorder: metrics.recorder(),
+            stats: WheelStats::default(),
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -352,6 +366,16 @@ impl WheelServers {
             let _ = h.join();
         }
     }
+
+    /// Activity counters for the exposition layer.
+    pub(crate) fn stats(&self) -> &WheelStats {
+        &self.shared.stats
+    }
+
+    /// Current occupancy: requests accepted and not yet fired.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
 }
 
 impl WheelShared {
@@ -367,6 +391,7 @@ impl WheelShared {
         let target = timing::compensated(self.work_unit.mul_f64(req.cost * stretch));
         let offset_ns = (dispatched + target - self.epoch).as_nanos() as u64;
         let expiry = offset_ns.div_ceil(TICK_NANOS);
+        self.stats.scheduled.fetch_add(1, Ordering::Relaxed);
         let pending = Pending { class, enqueued: req.enqueued, dispatched, notify: req.notify };
         let wake = {
             let mut st = self.state.lock();
@@ -411,7 +436,9 @@ fn timer_loop(shared: &WheelShared) {
     let mut st = shared.state.lock();
     loop {
         st.advance(shared.now_tick(), &mut fired);
+        shared.stats.cascades.store(st.cascaded(), Ordering::Relaxed);
         if !fired.is_empty() {
+            shared.stats.fires.fetch_add(fired.len() as u64, Ordering::Relaxed);
             drop(st);
             // Fire outside the wheel lock: completions take lane locks,
             // record metrics and may re-enter `start_service` to chain.
@@ -430,6 +457,7 @@ fn timer_loop(shared: &WheelShared) {
                 }
                 let wait = Duration::from_nanos(due_ns - now_ns);
                 shared.alarm.wait_for(&mut st, wait);
+                shared.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             }
             None => {
                 if shared.closed.load(Ordering::SeqCst)

@@ -13,6 +13,7 @@
 //! | [`desim`] | discrete-event simulator: fluid task servers, generators, metrics |
 //! | [`propshare`] | GPS / WFQ / Lottery / Stride / DRR scheduling substrate |
 //! | [`core`] | the paper's contribution: Eq. 17 allocator, Eq. 18 model, estimator, controller |
+//! | [`obs`] | observability: span rings, Prometheus exposition, control-decision flight recorder |
 //! | [`server`] | threaded Internet-server substrate with online PSD reallocation |
 //! | [`loadgen`] | open/closed-loop TCP traffic generator, scenario catalog, slowdown reports |
 //!
@@ -47,6 +48,7 @@ pub use psd_core as core;
 pub use psd_desim as desim;
 pub use psd_dist as dist;
 pub use psd_loadgen as loadgen;
+pub use psd_obs as obs;
 pub use psd_propshare as propshare;
 pub use psd_queueing as queueing;
 pub use psd_server as server;
