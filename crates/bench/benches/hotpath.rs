@@ -85,5 +85,68 @@ fn bench_queue_submit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_queue_submit);
+/// The io_uring engine's submit path: what one `io_uring_enter` costs
+/// and how batching amortizes it. `nop_batch/N` pushes N no-op SQEs
+/// and reaps their CQEs around a single enter — the per-operation cost
+/// should fall roughly as 1/N, which is the whole mechanism behind the
+/// engine's syscall gate (`tests/syscall_gate.rs`). The echo case runs
+/// a registered-buffer write + read round trip over a socketpair, the
+/// exact SQE shapes the reactor's hot path submits per request.
+/// Self-skips on kernels that refuse io_uring.
+fn bench_uring_submit(c: &mut Criterion) {
+    use polling::uring::UringEngine;
+    use std::os::fd::AsRawFd;
+
+    if !polling::uring::available() {
+        eprintln!("skipping uring_submit benches: io_uring unavailable on this kernel");
+        return;
+    }
+    let mut group = c.benchmark_group("uring_submit");
+    for batch in [1usize, 32, 256] {
+        group.bench_with_input(BenchmarkId::new("nop_batch", batch), &batch, |b, &n| {
+            let mut eng = UringEngine::new(512, 8, 4096).expect("ring");
+            b.iter(|| {
+                for i in 0..n {
+                    eng.push_nop(i as u64).expect("push nop");
+                }
+                eng.submit().expect("enter");
+                let mut done = 0;
+                while done < n {
+                    match eng.pop() {
+                        Some(cqe) => {
+                            black_box(cqe.result);
+                            done += 1;
+                        }
+                        None => eng.submit_and_wait(None).expect("wait"),
+                    }
+                }
+            })
+        });
+    }
+    group.bench_function("fixed_write_read_echo", |b| {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let mut eng = UringEngine::new(64, 8, 4096).expect("ring");
+        let write_slot = eng.alloc_slot();
+        let read_slot = eng.alloc_slot();
+        assert!(eng.slot_is_fixed(write_slot) && eng.slot_is_fixed(read_slot));
+        let payload = [0x61u8; 512];
+        b.iter(|| {
+            eng.push_write(tx.as_raw_fd(), write_slot, &payload, 1).expect("push write");
+            eng.push_read(rx.as_raw_fd(), read_slot, 2).expect("push read");
+            let mut done = 0;
+            while done < 2 {
+                match eng.pop() {
+                    Some(cqe) => {
+                        assert!(cqe.result > 0, "echo op failed: {}", cqe.result);
+                        done += 1;
+                    }
+                    None => eng.submit_and_wait(None).expect("wait"),
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_queue_submit, bench_uring_submit);
 criterion_main!(benches);

@@ -63,7 +63,9 @@ pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use json::JsonValue;
 pub use prom::{parse_text as parse_prometheus, PromSample, PromWriter};
 pub use span::{decompose, spans_to_json, SpanRecord, SpanRing, StageBreakdown};
-pub use stats::{AdmissionStats, ReactorShardSnapshot, ReactorShardStats, WheelStats};
+pub use stats::{
+    AdmissionStats, ReactorShardSnapshot, ReactorShardStats, UringSnapshot, UringStats, WheelStats,
+};
 
 /// Sizing knobs for an [`ObsBundle`].
 #[derive(Debug, Clone, Copy, PartialEq)]

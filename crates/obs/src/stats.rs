@@ -120,6 +120,81 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// One io_uring shard's ring counters, published by the uring engine's
+/// event loop (it copies the ring's single-threaded meters into these
+/// atomics once per loop iteration — stores, not read-modify-writes).
+#[derive(Debug, Default)]
+pub struct UringStats {
+    /// `io_uring_enter` syscalls issued.
+    pub enters: AtomicU64,
+    /// Enter calls that waited for a completion.
+    pub waits: AtomicU64,
+    /// SQEs submitted across all enters.
+    pub sqes: AtomicU64,
+    /// CQEs reaped.
+    pub cqes: AtomicU64,
+    /// Reads served via `READ_FIXED` (registered buffers).
+    pub fixed_reads: AtomicU64,
+    /// Writes served via `WRITE_FIXED` (registered buffers).
+    pub fixed_writes: AtomicU64,
+    /// Reads/writes that fell back to plain opcodes (overflow slots or
+    /// registration refused).
+    pub plain_ops: AtomicU64,
+}
+
+impl UringStats {
+    /// A point-in-time copy for exposition.
+    pub fn snapshot(&self) -> UringSnapshot {
+        UringSnapshot {
+            enters: self.enters.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            sqes: self.sqes.load(Ordering::Relaxed),
+            cqes: self.cqes.load(Ordering::Relaxed),
+            fixed_reads: self.fixed_reads.load(Ordering::Relaxed),
+            fixed_writes: self.fixed_writes.load(Ordering::Relaxed),
+            plain_ops: self.plain_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scrape-side view of one uring shard's ring counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UringSnapshot {
+    /// `io_uring_enter` calls.
+    pub enters: u64,
+    /// Waiting enters.
+    pub waits: u64,
+    /// SQEs submitted.
+    pub sqes: u64,
+    /// CQEs reaped.
+    pub cqes: u64,
+    /// Fixed-buffer reads.
+    pub fixed_reads: u64,
+    /// Fixed-buffer writes.
+    pub fixed_writes: u64,
+    /// Plain-opcode reads/writes.
+    pub plain_ops: u64,
+}
+
+impl UringSnapshot {
+    /// Mean SQEs batched into one `io_uring_enter` — the batching win
+    /// over epoll's one-syscall-per-op pattern.
+    pub fn sqes_per_enter(&self) -> f64 {
+        ratio(self.sqes, self.enters)
+    }
+
+    /// Mean CQEs reaped per waiting enter.
+    pub fn cqes_per_wait(&self) -> f64 {
+        ratio(self.cqes, self.waits)
+    }
+
+    /// Fraction of reads/writes that used registered buffers.
+    pub fn fixed_hit_ratio(&self) -> f64 {
+        let fixed = self.fixed_reads + self.fixed_writes;
+        ratio(fixed, fixed + self.plain_ops)
+    }
+}
+
 /// Admission-control door counters.
 #[derive(Debug, Default)]
 pub struct AdmissionStats {
@@ -148,5 +223,22 @@ mod tests {
         assert!((snap.mean_mailbox_depth() - 2.0).abs() < 1e-12);
         assert!((snap.events_per_wakeup() - 2.5).abs() < 1e-12);
         assert_eq!(ReactorShardSnapshot::default().mean_sweep_size(), 0.0);
+    }
+
+    #[test]
+    fn uring_snapshot_ratios() {
+        let s = UringStats::default();
+        s.enters.store(4, Ordering::Relaxed);
+        s.waits.store(2, Ordering::Relaxed);
+        s.sqes.store(12, Ordering::Relaxed);
+        s.cqes.store(10, Ordering::Relaxed);
+        s.fixed_reads.store(6, Ordering::Relaxed);
+        s.fixed_writes.store(3, Ordering::Relaxed);
+        s.plain_ops.store(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert!((snap.sqes_per_enter() - 3.0).abs() < 1e-12);
+        assert!((snap.cqes_per_wait() - 5.0).abs() < 1e-12);
+        assert!((snap.fixed_hit_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(UringSnapshot::default().sqes_per_enter(), 0.0);
     }
 }

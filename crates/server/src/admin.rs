@@ -42,7 +42,7 @@ use crate::classify::{admin_route, AdminRoute};
 use crate::codec::{HttpRequest, Response};
 use crate::server::PsdServer;
 use psd_core::control::ControllerKind;
-use psd_obs::{spans_to_json, PromWriter, ReactorShardStats};
+use psd_obs::{spans_to_json, PromWriter, ReactorShardStats, UringStats};
 
 /// How many spans `GET /trace` returns when the request does not cap
 /// the count with `?n=`.
@@ -53,11 +53,14 @@ const DEFAULT_TRACE_SPANS: usize = 512;
 /// Built from references so constructing one on the request path costs
 /// nothing.
 pub(crate) struct AdminInfo<'a> {
-    /// Engine token (`"threads"` | `"reactor"`).
+    /// Engine token (`"threads"` | `"reactor"` | `"uring"`).
     pub(crate) engine: &'static str,
     /// Reactor event-loop shard counters, empty for the threaded
-    /// engine.
+    /// engine (both reactor backends fill them).
     pub(crate) shard_stats: &'a [Arc<ReactorShardStats>],
+    /// io_uring ring counters per shard, empty unless the uring
+    /// backend is serving.
+    pub(crate) uring_stats: &'a [Arc<UringStats>],
 }
 
 /// Serve `req` if it targets an admin route. `keep_alive` is the
@@ -354,6 +357,47 @@ fn prom_text(server: &PsdServer, info: &AdminInfo<'_>) -> String {
             w.sample("psd_reactor_mean_sweep_size", shard, snap.mean_sweep_size());
         }
     }
+
+    if !info.uring_stats.is_empty() {
+        w.help("psd_uring_enters_total", "counter", "io_uring_enter syscalls per shard.");
+        w.help("psd_uring_waits_total", "counter", "Enter calls that waited for a completion.");
+        w.help("psd_uring_sqes_total", "counter", "SQEs submitted per shard.");
+        w.help("psd_uring_cqes_total", "counter", "CQEs reaped per shard.");
+        w.help("psd_uring_fixed_reads_total", "counter", "Reads served via READ_FIXED.");
+        w.help("psd_uring_fixed_writes_total", "counter", "Writes served via WRITE_FIXED.");
+        w.help("psd_uring_plain_ops_total", "counter", "Reads/writes on plain opcodes.");
+        w.help("psd_uring_sqes_per_enter", "gauge", "Mean SQEs batched into one enter.");
+        w.help("psd_uring_cqes_per_wait", "gauge", "Mean CQEs reaped per waiting enter.");
+        w.help("psd_uring_fixed_hit_ratio", "gauge", "Share of ops on registered buffers.");
+        for (i, s) in info.uring_stats.iter().enumerate() {
+            let snap = s.snapshot();
+            label.clear();
+            let _ = write!(label, "{i}");
+            let shard: &[(&str, &str)] = &[("shard", &label)];
+            w.sample("psd_uring_enters_total", shard, snap.enters as f64);
+            w.sample("psd_uring_waits_total", shard, snap.waits as f64);
+            w.sample("psd_uring_sqes_total", shard, snap.sqes as f64);
+            w.sample("psd_uring_cqes_total", shard, snap.cqes as f64);
+            w.sample("psd_uring_fixed_reads_total", shard, snap.fixed_reads as f64);
+            w.sample("psd_uring_fixed_writes_total", shard, snap.fixed_writes as f64);
+            w.sample("psd_uring_plain_ops_total", shard, snap.plain_ops as f64);
+            w.sample("psd_uring_sqes_per_enter", shard, snap.sqes_per_enter());
+            w.sample("psd_uring_cqes_per_wait", shard, snap.cqes_per_wait());
+            w.sample("psd_uring_fixed_hit_ratio", shard, snap.fixed_hit_ratio());
+        }
+    }
+
+    // Process-wide I/O-plane syscall meter from the vendored polling
+    // shim (epoll ctl/wait, eventfd ops, io_uring setup/enter/register,
+    // and the reactor shards' direct read/write/accept calls). The
+    // engines' syscall economy is compared on deltas of this counter —
+    // see `tests/syscall_gate.rs`.
+    w.help(
+        "psd_reactor_syscalls_total",
+        "counter",
+        "I/O-plane syscalls issued through the polling/uring shim.",
+    );
+    w.sample("psd_reactor_syscalls_total", &[], polling::count::total() as f64);
     w.into_string()
 }
 

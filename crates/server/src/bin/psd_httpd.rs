@@ -3,7 +3,7 @@
 //! ```text
 //! psd_httpd [--addr 127.0.0.1:8080] [--deltas 1,2,4] [--workers 1]
 //!           [--work-unit-us 300] [--default-cost 1.0] [--spin]
-//!           [--engine threads|reactor] [--shards N]
+//!           [--engine threads|reactor|uring] [--shards N]
 //!           [--controller open|feedback] [--gain G] [--admission-cap C]
 //!           [--max-connections 1024] [--duration-s N]
 //!
@@ -15,8 +15,11 @@
 //! `--engine threads` (default) serves one blocking thread per
 //! connection; `--engine reactor` multiplexes connections over
 //! `--shards N` epoll event-loop threads (default: min(cores, 4)),
-//! assigned round-robin. Past `--max-connections`, new arrivals are
-//! answered `503` + `Connection: close` on either engine.
+//! assigned round-robin; `--engine uring` runs the same sharded
+//! reactor on an io_uring completion plane (batched submissions,
+//! registered buffers) and falls back to `reactor` with a warning on
+//! kernels without io_uring. Past `--max-connections`, new arrivals
+//! are answered `503` + `Connection: close` on every engine.
 //!
 //!   curl 'http://127.0.0.1:8080/class0/hello?cost=2'
 //! ```
@@ -95,7 +98,7 @@ fn main() {
                     .next()
                     .as_deref()
                     .and_then(EngineKind::parse)
-                    .unwrap_or_else(|| die("--engine needs 'threads' or 'reactor'"));
+                    .unwrap_or_else(|| die("--engine needs 'threads', 'reactor' or 'uring'"));
             }
             "--shards" => {
                 shards = args
@@ -142,13 +145,23 @@ fn main() {
                 );
             }
             "--spin" => workload = Workload::Spin,
+            // Exit 0 if this kernel serves io_uring, 1 otherwise — for
+            // scripts/CI to gate uring-engine runs without grepping
+            // fallback warnings off stderr.
+            "--probe-uring" => {
+                if psd_server::uring_available() {
+                    println!("io_uring: available");
+                    return;
+                }
+                die("io_uring: unavailable on this kernel");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: psd_httpd [--addr A] [--deltas 1,2,4] [--workers N] \
                      [--work-unit-us U] [--default-cost C] [--spin] \
-                     [--engine threads|reactor] [--shards N] \
+                     [--engine threads|reactor|uring] [--shards N] \
                      [--controller open|feedback] [--gain G] [--admission-cap C] \
-                     [--max-connections N] [--duration-s N]"
+                     [--max-connections N] [--duration-s N] [--probe-uring]"
                 );
                 return;
             }

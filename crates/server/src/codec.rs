@@ -452,6 +452,24 @@ impl WriteBuf {
         self.buf.len() - self.pos
     }
 
+    /// The pending bytes themselves, for completion-based transports
+    /// (io_uring) that copy a chunk out, submit it, and advance by the
+    /// completion's byte count via [`WriteBuf::consume`].
+    pub fn unflushed(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Mark `n` bytes of the pending data as written (a write
+    /// completion reported `n`); the next [`WriteBuf::unflushed`]
+    /// resumes at the exact offset, mirroring the short-write handling
+    /// of [`WriteBuf::flush_into`].
+    pub fn consume(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.buf.len());
+        if self.pos == self.buf.len() {
+            self.compact();
+        }
+    }
+
     /// Queue a response behind whatever is still pending.
     pub fn push_response(&mut self, resp: &Response) {
         self.compact();
@@ -824,6 +842,34 @@ mod tests {
         let mut whole = w.accepted;
         whole.extend_from_slice(&w2.accepted);
         assert_eq!(whole, resp.to_bytes(), "resumed bytes splice exactly");
+    }
+
+    #[test]
+    fn write_buf_unflushed_consume_mirror_flush_into() {
+        let resp = Response {
+            http11: true,
+            status: 200,
+            reason: "OK",
+            keep_alive: false,
+            extra_headers: vec![],
+            body: Bytes::from("abcdefghij".repeat(10)),
+        };
+        let mut wb = WriteBuf::new();
+        wb.push_response(&resp);
+        let want = resp.to_bytes();
+        let mut got = Vec::new();
+        // Completion-style draining in uneven gulps.
+        for gulp in [1usize, 7, 64, 9999] {
+            let chunk = wb.unflushed();
+            let n = gulp.min(chunk.len());
+            got.extend_from_slice(&chunk[..n]);
+            wb.consume(n);
+        }
+        assert_eq!(got, want, "consume() resumes at exact offsets");
+        assert!(wb.is_empty());
+        // Over-consume is clamped, not a panic.
+        wb.consume(42);
+        assert_eq!(wb.pending(), 0);
     }
 
     #[test]

@@ -68,16 +68,23 @@ const ACCEPT_TICK: Duration = Duration::from_millis(50);
 pub enum EngineKind {
     /// Thread per connection, blocking I/O (the legacy baseline).
     Threads,
-    /// One epoll event-loop thread multiplexing every connection.
+    /// Sharded epoll event loops multiplexing every connection.
     Reactor,
+    /// The same sharded reactor on an io_uring completion plane:
+    /// batched SQEs, registered buffers, in-ring doorbell. Requires
+    /// kernel support — [`HttpFrontend::start_on_with`] probes at
+    /// startup and falls back to [`EngineKind::Reactor`] (with a
+    /// logged warning) when the kernel refuses io_uring.
+    Uring,
 }
 
 impl EngineKind {
-    /// Parse a CLI token (`threads` | `reactor`).
+    /// Parse a CLI token (`threads` | `reactor` | `uring`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "threads" => Some(EngineKind::Threads),
             "reactor" => Some(EngineKind::Reactor),
+            "uring" => Some(EngineKind::Uring),
             _ => None,
         }
     }
@@ -87,8 +94,18 @@ impl EngineKind {
         match self {
             EngineKind::Threads => "threads",
             EngineKind::Reactor => "reactor",
+            EngineKind::Uring => "uring",
         }
     }
+}
+
+/// True when the running kernel accepts io_uring (one cached probe:
+/// ring setup + NOP round-trip). [`EngineKind::Uring`] serves on the
+/// ring iff this holds; otherwise it falls back to the epoll reactor.
+/// Tests and the bench harness use it to self-skip uring cases on
+/// kernels (or seccomp sandboxes) without io_uring.
+pub fn uring_available() -> bool {
+    polling::uring::available()
 }
 
 /// Front-end configuration shared by both engines.
@@ -328,7 +345,11 @@ fn handle_connection(
                 let keep = req.keep_alive() && req.framed() && !stop.load(Ordering::SeqCst);
                 // Admin routes are served by the front-end itself —
                 // never classified, admitted or queued.
-                let info = crate::admin::AdminInfo { engine: "threads", shard_stats: &[] };
+                let info = crate::admin::AdminInfo {
+                    engine: "threads",
+                    shard_stats: &[],
+                    uring_stats: &[],
+                };
                 if let Some(resp) = crate::admin::handle(server, &req, keep, &info) {
                     let closing = !resp.keep_alive;
                     if stream.write_all(&resp.to_bytes()).is_err() || closing {
@@ -608,7 +629,58 @@ impl HttpFrontend {
                 };
                 Engine::Threads { stop, tracker, poller, accept: Some(accept) }
             }
-            EngineKind::Reactor => Engine::Reactor(reactor::Handle::start(listener, server, cfg)?),
+            EngineKind::Reactor => Engine::Reactor(reactor::Handle::start(
+                listener,
+                server,
+                cfg,
+                reactor::Backend::Epoll,
+            )?),
+            EngineKind::Uring => {
+                // Probe first (cheap, cached): a kernel without io_uring
+                // (ENOSYS), or one that refuses it (seccomp/EPERM),
+                // downgrades to the epoll reactor with a warning rather
+                // than failing startup — `--engine uring` is a request
+                // for the fast path, not a hard requirement. A probe
+                // pass followed by a ring-construction failure (e.g.
+                // memlock exhaustion) downgrades the same way.
+                match polling::uring::probe() {
+                    Err(why) => {
+                        eprintln!(
+                            "psd-server: io_uring unavailable ({why}); \
+                             falling back to the epoll reactor engine"
+                        );
+                        Engine::Reactor(reactor::Handle::start(
+                            listener,
+                            server,
+                            cfg,
+                            reactor::Backend::Epoll,
+                        )?)
+                    }
+                    Ok(()) => {
+                        let listener2 = listener.try_clone()?;
+                        match reactor::Handle::start(
+                            listener,
+                            server.clone(),
+                            cfg.clone(),
+                            reactor::Backend::Uring,
+                        ) {
+                            Ok(handle) => Engine::Reactor(handle),
+                            Err(e) => {
+                                eprintln!(
+                                    "psd-server: io_uring engine failed to start ({e}); \
+                                     falling back to the epoll reactor engine"
+                                );
+                                Engine::Reactor(reactor::Handle::start(
+                                    listener2,
+                                    server,
+                                    cfg,
+                                    reactor::Backend::Epoll,
+                                )?)
+                            }
+                        }
+                    }
+                }
+            }
         };
         Ok(Self { addr, engine })
     }
@@ -618,11 +690,17 @@ impl HttpFrontend {
         self.addr
     }
 
-    /// Which engine is serving.
+    /// Which engine is **actually** serving — after an io_uring probe
+    /// failure this reports [`EngineKind::Reactor`] even though the
+    /// config asked for [`EngineKind::Uring`], so callers (and the
+    /// harness) can see which plane they measured.
     pub fn engine(&self) -> EngineKind {
-        match self.engine {
+        match &self.engine {
             Engine::Threads { .. } => EngineKind::Threads,
-            Engine::Reactor(_) => EngineKind::Reactor,
+            Engine::Reactor(handle) => match handle.backend() {
+                reactor::Backend::Epoll => EngineKind::Reactor,
+                reactor::Backend::Uring => EngineKind::Uring,
+            },
         }
     }
 

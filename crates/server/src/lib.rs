@@ -18,10 +18,15 @@
 //!                         │      │ reactor: N epoll shards (cfg.shards),      │
 //!  psd-loadgen / curl ─────────▶ │   round-robin fd assignment, sans-io       │
 //!                         │      │   codec, pooled buffers, coarse cached     │
-//!      GET /metrics       │      │   clock, coalesced eventfd completions     │
-//!      GET|PUT /config ──────────┼─▶ admin routes (classify::admin_route)     │
-//!      (hot reconfig:     │      └──────────────┬─────────────────────────────┘
-//!       δ's, gain, cap)   │   classify → class, cost → admit? ──no──▶ 503
+//!                         │      │   clock, coalesced eventfd completions     │
+//!                         │      │ uring: the same shards on io_uring —       │
+//!                         │      │   multishot accept, registered fixed       │
+//!      GET /metrics       │      │   buffers, reads/writes/doorbell batched   │
+//!      GET|PUT /config ────────┐ │   into ONE io_uring_enter per loop turn;   │
+//!      (hot reconfig:     │    │ │   probe → epoll fallback with warning      │
+//!       δ's, gain, cap)   │    └─┼─▶ admin routes (classify::admin_route)     │
+//!                         │      └──────────────┬─────────────────────────────┘
+//!                         │   classify → class, cost → admit? ──no──▶ 503
 //!                         │                     │ yes                X-Shed: 1
 //!                         │ submit/submit_async ▼                   + close
 //!             ┌─────────────────────────────────────────────────────────┐
@@ -76,11 +81,23 @@
 //! smoke on one core from **5141 sent / ~1031 req/s** (PR 3, threads
 //! or single-loop reactor, offered-load-limited at its stable
 //! operating point) to **10977 sent / ~2172 req/s** (reactor ×2
-//! shards, 250 µs work units, 2200 req/s offered) with 0 errors and
-//! the achieved S1/S0 slowdown ratio within the ±20 % band of the
-//! configured δ1/δ0 = 2 — see `BENCH_hotpath.json` in CI. Steady-state
-//! request handling performs ~3 heap allocations end to end
-//! (`tests/reactor_alloc.rs` pins this with a counting allocator).
+//! shards, 250 µs work units, 2200 req/s offered), and the io_uring
+//! engine doubles the hot path again: **24137 sent / ~4850 req/s**
+//! (uring ×2 shards, 125 µs work units, 4800 req/s offered) — each
+//! step with 0 errors and the achieved S1/S0 slowdown ratio within
+//! the ±20 % band of the configured δ1/δ0 = 2. See
+//! `BENCH_hotpath.json` / `BENCH_uring.json` in CI and the committed
+//! reference runs in `benches/baselines/`. The uring engine gets
+//! there on **half the I/O-plane syscalls per request** (4.0 vs 8.0,
+//! metered by `polling::count`, exported as
+//! `psd_reactor_syscalls_total` and pinned strictly below epoll by
+//! `tests/syscall_gate.rs`): per-connection reads, response writes,
+//! the multishot accept and the PSD completion doorbell all ride one
+//! batched `io_uring_enter` per loop iteration, with payloads in a
+//! registered fixed-buffer pool (128 slots/shard, heap spill above).
+//! Steady-state request handling performs ~3 heap allocations end to
+//! end (`tests/reactor_alloc.rs` pins this with a counting
+//! allocator).
 //!
 //! ```no_run
 //! use psd_server::{PsdServer, ServerConfig, SchedulerKind};
@@ -91,10 +108,13 @@
 //! let stats = server.shutdown();
 //! ```
 //!
-//! The blocking front-end engine, the sharded epoll reactor and their
-//! shared HTTP codec live in [`httplite`], [`reactor`] and [`codec`];
-//! the `psd_httpd` binary selects between engines with `--engine
-//! {threads,reactor}`, sizes the reactor with `--shards N`, and
+//! The blocking front-end engine, the sharded reactor (epoll shard
+//! loops and the io_uring completion loops share one structure) and
+//! their shared HTTP codec live in [`httplite`], [`reactor`] and
+//! [`codec`]; the `psd_httpd` binary selects between engines with
+//! `--engine {threads,reactor,uring}` (uring probes at startup and
+//! falls back to the epoll reactor with a logged warning — exposed to
+//! scripts as `--probe-uring`), sizes the reactor with `--shards N`, and
 //! selects the control plane with `--controller {open,feedback}`,
 //! `--gain` and `--admission-cap`. The admin route family
 //! (`GET /metrics`, `GET /metrics/prometheus`, `GET`/`PUT /config` —
@@ -124,7 +144,7 @@ mod wheel;
 
 pub use classify::{admin_route, classify_path, AdminRoute, Classification};
 pub use codec::{ConnectionHeader, HttpRequest, RequestCodec, Response, WriteBuf};
-pub use httplite::{default_shards, EngineKind, FrontendConfig, HttpFrontend};
+pub use httplite::{default_shards, uring_available, EngineKind, FrontendConfig, HttpFrontend};
 pub use metrics::{ClassStats, MetricsRecorder, ServerStats, WindowSweep};
 pub use psd_core::control::{ClassTable, ControllerKind, SharedControl};
 pub use server::{

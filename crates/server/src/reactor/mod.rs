@@ -34,6 +34,7 @@
 //! are unchanged from the single-loop reactor and live in [`shard`].
 
 mod shard;
+mod uring;
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -45,12 +46,25 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use polling::{Interest, Poller};
-use psd_obs::ReactorShardStats;
+use psd_obs::{ReactorShardStats, UringStats};
 
 use crate::server::{Completion, PsdServer};
 use crate::FrontendConfig;
 
 use shard::ShardLoop;
+use uring::UringLoop;
+
+/// Which kernel interface drives the shard event loops. Both backends
+/// share [`Shared`] (mailbox, inbox, stop/exit protocol) and the
+/// per-connection state machine semantics; only the I/O plane differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Backend {
+    /// Readiness: `epoll_wait` + per-fd `read`/`write` syscalls.
+    Epoll,
+    /// Completion: batched SQEs through one `io_uring_enter` per loop
+    /// iteration, registered-buffer reads/writes, in-ring doorbell.
+    Uring,
+}
 
 /// Epoll key of the listener (shard 0 only); connection keys start
 /// above it.
@@ -97,6 +111,9 @@ pub(crate) struct Shared {
     /// This shard's event-loop counters, shared with the admin
     /// exposition (`GET /metrics/prometheus`).
     pub(crate) stats: Arc<ReactorShardStats>,
+    /// Ring counters, published only by the uring backend (all-zero
+    /// under epoll; the exposition omits them when empty).
+    pub(crate) uring_stats: Arc<UringStats>,
 }
 
 impl Shared {
@@ -121,15 +138,22 @@ impl Shared {
 pub struct Handle {
     shards: Vec<(Arc<Shared>, Option<JoinHandle<()>>)>,
     global: Arc<Global>,
+    backend: Backend,
 }
 
 impl Handle {
-    /// Spawn `cfg.shards` event loops; shard 0 owns `listener` and
-    /// assigns accepted connections round-robin.
+    /// Spawn `cfg.shards` event loops on `backend`; shard 0 owns
+    /// `listener` and assigns accepted connections round-robin.
+    ///
+    /// For [`Backend::Uring`] every ring (and its registered buffer
+    /// arena) is created here, before any thread spawns — a kernel
+    /// that refuses io_uring fails this call and the caller falls back
+    /// to [`Backend::Epoll`] instead of limping half-started.
     pub(crate) fn start(
         listener: TcpListener,
         server: Arc<PsdServer>,
         cfg: FrontendConfig,
+        backend: Backend,
     ) -> io::Result<Self> {
         listener.set_nonblocking(true)?;
         let n = cfg.shards.max(1);
@@ -145,33 +169,61 @@ impl Handle {
                 exited_cv: Condvar::new(),
                 global: Arc::clone(&global),
                 stats: Arc::new(ReactorShardStats::default()),
+                uring_stats: Arc::new(UringStats::default()),
             }));
         }
-        shareds[0].poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
+        // The uring backend accepts through a multishot SQE instead of
+        // epoll readiness, so only the epoll backend registers the
+        // listener with shard 0's poller.
+        let mut engines = Vec::new();
+        match backend {
+            Backend::Epoll => {
+                shareds[0].poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
+            }
+            Backend::Uring => {
+                for _ in 0..n {
+                    engines.push(uring::new_engine()?);
+                }
+            }
+        }
+        let mut engines = engines.into_iter();
         let mut listener = Some(listener);
         let mut shards = Vec::with_capacity(n);
         for (i, shared) in shareds.iter().enumerate() {
-            // Shard 0 keeps the (already registered) listener itself —
-            // the fd moves with it, so no re-registration races.
-            let mut sl = ShardLoop::new(
-                if i == 0 { listener.take() } else { None },
-                shareds.clone(),
-                i,
-                Arc::clone(&server),
-                cfg.clone(),
-                Arc::clone(shared),
-            );
+            // Shard 0 keeps the listener itself — the fd moves with it,
+            // so no re-registration races.
+            let shard_listener = if i == 0 { listener.take() } else { None };
             let thread = {
+                let shared_for_exit = Arc::clone(shared);
+                let peers = shareds.clone();
+                let server = Arc::clone(&server);
+                let cfg = cfg.clone();
                 let shared = Arc::clone(shared);
-                thread::Builder::new().name(format!("psd-reactor-{i}")).spawn(move || {
-                    sl.run();
-                    *shared.exited.lock() = true;
-                    shared.exited_cv.notify_all();
+                let engine = engines.next();
+                let name = match backend {
+                    Backend::Epoll => format!("psd-reactor-{i}"),
+                    Backend::Uring => format!("psd-uring-{i}"),
+                };
+                thread::Builder::new().name(name).spawn(move || {
+                    match engine {
+                        None => ShardLoop::new(shard_listener, peers, i, server, cfg, shared).run(),
+                        Some(engine) => {
+                            UringLoop::new(shard_listener, peers, i, server, cfg, shared, engine)
+                                .run()
+                        }
+                    }
+                    *shared_for_exit.exited.lock() = true;
+                    shared_for_exit.exited_cv.notify_all();
                 })?
             };
             shards.push((Arc::clone(shared), Some(thread)));
         }
-        Ok(Self { shards, global })
+        Ok(Self { shards, global, backend })
+    }
+
+    /// Which kernel interface this reactor's shards run on.
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Graceful drain: stop accepting, close idle connections, serve

@@ -264,6 +264,7 @@ impl ShardLoop {
         // Temporarily take the listener so `adopt` can borrow `self`.
         let Some(listener) = self.listener.take() else { return };
         loop {
+            polling::count::bump(); // accept(2)
             match listener.accept() {
                 Ok((stream, _)) => {
                     if self.shared.global.live.load(Ordering::SeqCst) >= self.cfg.max_connections {
@@ -274,6 +275,7 @@ impl ShardLoop {
                         // enough).
                         let mut stream = stream;
                         let _ = stream.set_nonblocking(true);
+                        polling::count::bump(); // write(2)
                         let _ = stream.write_all(&service_unavailable(true).to_bytes());
                         continue;
                     }
@@ -350,6 +352,7 @@ impl ShardLoop {
         }
         let mut chunk = [0u8; 8192];
         loop {
+            polling::count::bump(); // read(2)
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     self.close(key);
@@ -389,7 +392,11 @@ impl ShardLoop {
     fn begin_request(&mut self, key: usize, req: HttpRequest) {
         let draining = self.shared.stop.load(Ordering::SeqCst);
         let keep = req.keep_alive() && req.framed() && !draining;
-        let info = crate::admin::AdminInfo { engine: "reactor", shard_stats: &self.peer_stats };
+        let info = crate::admin::AdminInfo {
+            engine: "reactor",
+            shard_stats: &self.peer_stats,
+            uring_stats: &[],
+        };
         if let Some(resp) = crate::admin::handle(&self.server, &req, keep, &info) {
             let Some(conn) = self.conns.get_mut(&key) else { return };
             conn.out.push_response(&resp);
@@ -466,6 +473,10 @@ impl ShardLoop {
         let Some(conn) = self.conns.get_mut(&key) else { return };
         let Phase::Flushing { then_close } = conn.phase else { return };
         let before = conn.out.pending();
+        // One bump per flush attempt (flush_into may issue several
+        // write(2)s — undercounting epoll is the conservative side of
+        // the syscall-gate comparison).
+        polling::count::bump();
         match conn.out.flush_into(&mut conn.stream) {
             Ok(true) => {
                 conn.last_progress = self.now;

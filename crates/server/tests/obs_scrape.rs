@@ -1,5 +1,6 @@
 //! End-to-end observability: scrape every observability route over
-//! real TCP on **both** engines while the server is shedding load, and
+//! real TCP on **all three** engines while the server is shedding
+//! load, and
 //! validate the bodies with the same `psd-obs` parsers offline tooling
 //! uses. Also pins the satellite contract that every admin response
 //! carries an explicit `Content-Type`.
@@ -58,13 +59,19 @@ fn teardown(fe: HttpFrontend, server: Arc<PsdServer>) {
     Arc::try_unwrap(server).ok().expect("handlers drained").shutdown();
 }
 
-/// Both engines, mid-overload: class 1 is shed at the door while
+/// Every engine, mid-overload: class 1 is shed at the door while
 /// class 0 serves; every observability route answers 200 with a typed
 /// body, the Prometheus exposition parses and reflects the shedding,
-/// the span ring carries both admitted and shed spans.
+/// the span ring carries both admitted and shed spans. The uring case
+/// self-skips on kernels without io_uring (the frontend would fall
+/// back to epoll and the engine-token assertions below would lie).
 #[test]
 fn observability_routes_scrape_mid_overload() {
-    for engine in [EngineKind::Threads, EngineKind::Reactor] {
+    for engine in [EngineKind::Threads, EngineKind::Reactor, EngineKind::Uring] {
+        if engine == EngineKind::Uring && !psd_server::uring_available() {
+            eprintln!("skipping uring case: io_uring unavailable on this kernel");
+            continue;
+        }
         let server = Arc::new(PsdServer::start(ServerConfig {
             deltas: vec![1.0, 2.0],
             work_unit: Duration::from_micros(100),
@@ -120,6 +127,7 @@ fn observability_routes_scrape_mid_overload() {
         let token = match engine {
             EngineKind::Threads => "\"engine\":\"threads\"",
             EngineKind::Reactor => "\"engine\":\"reactor\"",
+            EngineKind::Uring => "\"engine\":\"uring\"",
         };
         assert!(hz_body.contains(token), "{engine:?}: {hz_body}");
         assert!(hz_body.contains("\"classes\":2"), "{engine:?}: {hz_body}");
@@ -152,10 +160,7 @@ fn observability_routes_scrape_mid_overload() {
         let prom = get(addr, "/metrics/prometheus");
         let samples = psd_obs::parse_prometheus(body(&prom))
             .unwrap_or_else(|e| panic!("{engine:?}: exposition does not parse: {e}\n{prom}"));
-        let engine_token = match engine {
-            EngineKind::Threads => "threads",
-            EngineKind::Reactor => "reactor",
-        };
+        let engine_token = engine.as_str();
         assert_eq!(sample(&samples, "psd_server_info", Some(("engine", engine_token))), 1.0);
         assert_eq!(
             sample(&samples, "psd_requests_completed_total", Some(("class", "0"))),
@@ -180,9 +185,10 @@ fn observability_routes_scrape_mid_overload() {
             "{engine:?}"
         );
         let shard_metrics = samples.iter().any(|s| s.name == "psd_reactor_accepts_total");
+        let uring_metrics = samples.iter().any(|s| s.name == "psd_uring_enters_total");
         match engine {
-            EngineKind::Reactor => {
-                assert!(shard_metrics, "reactor must expose per-shard loop counters");
+            EngineKind::Reactor | EngineKind::Uring => {
+                assert!(shard_metrics, "{engine:?} must expose per-shard loop counters");
                 let accepts: f64 = samples
                     .iter()
                     .filter(|s| s.name == "psd_reactor_accepts_total")
@@ -194,6 +200,30 @@ fn observability_routes_scrape_mid_overload() {
                 assert!(!shard_metrics, "threads engine has no reactor shards");
             }
         }
+        match engine {
+            EngineKind::Uring => {
+                assert!(uring_metrics, "uring engine must expose ring counters");
+                let enters: f64 = samples
+                    .iter()
+                    .filter(|s| s.name == "psd_uring_enters_total")
+                    .map(|s| s.value)
+                    .sum();
+                assert!(enters > 0.0, "uring shards must have entered the ring: {enters}");
+                let sqes: f64 = samples
+                    .iter()
+                    .filter(|s| s.name == "psd_uring_sqes_total")
+                    .map(|s| s.value)
+                    .sum();
+                assert!(sqes > 0.0, "uring shards must have submitted SQEs: {sqes}");
+            }
+            _ => assert!(!uring_metrics, "{engine:?} must not expose ring counters"),
+        }
+        // The process-wide I/O-plane syscall meter is always exported
+        // (the syscall-count gate diffs it across engines).
+        assert!(
+            sample(&samples, "psd_reactor_syscalls_total", None) > 0.0,
+            "{engine:?}: syscall meter must be live"
+        );
 
         // The flight record parses (empty here: the 3600 s window never
         // elapsed — the live-capture test below covers the filling).

@@ -1,0 +1,52 @@
+//! Process-global syscall accounting for the I/O shims.
+//!
+//! Every syscall this crate issues — epoll, eventfd, io_uring, the
+//! close calls in the poller's `Drop` — bumps one relaxed counter, and
+//! the server's engines [`add`] their own direct `read`/`write`/
+//! `accept` calls so the two transport engines are comparable on the
+//! same meter. The point is the syscalls-per-request gate
+//! (`crates/server/tests/syscall_gate.rs`): the epoll reactor is
+//! pinned at its current budget and the io_uring engine must come in
+//! strictly below it, so a regression that sneaks an extra syscall
+//! into either hot path fails a test instead of a benchmark eyeball.
+//!
+//! The counter is process-global, so a measurement is only meaningful
+//! when one engine is driving traffic; the gate test runs engines
+//! sequentially and takes [`total`] deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SYSCALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one syscall.
+#[inline]
+pub fn bump() {
+    SYSCALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` syscalls at once (e.g. a `Drop` that closes two fds, or
+/// an engine batching its own accounting).
+#[inline]
+pub fn add(n: u64) {
+    SYSCALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total syscalls recorded since process start. Subtract two readings
+/// to meter a workload.
+#[inline]
+pub fn total() -> u64 {
+    SYSCALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let before = total();
+        bump();
+        add(3);
+        assert!(total() - before >= 4, "other threads may add, never subtract");
+    }
+}

@@ -20,11 +20,15 @@
 //! edge-trigger starvation bug).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::io;
 use std::os::raw::{c_int, c_uint, c_void};
 use std::os::unix::io::RawFd;
 use std::time::Duration;
+
+pub mod count;
+pub mod uring;
 
 // Linux ABI constants (uapi/linux/eventpoll.h, bits/eventfd.h).
 const EPOLLIN: u32 = 0x001;
@@ -138,10 +142,17 @@ impl Poller {
     /// Create an epoll instance with its wakeup eventfd registered
     /// under [`NOTIFY_KEY`].
     pub fn new() -> io::Result<Self> {
+        count::bump();
+        // SAFETY: epoll_create1 takes no pointers; the returned fd (or
+        // -1) is checked before use.
         let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        count::bump();
+        // SAFETY: eventfd takes no pointers; the fd is checked.
         let event_fd = match check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
             Ok(fd) => fd,
             Err(e) => {
+                // SAFETY: epfd came from epoll_create1 above and is
+                // closed exactly once on this error path.
                 unsafe { close(epfd) };
                 return Err(e);
             }
@@ -153,6 +164,9 @@ impl Poller {
 
     fn ctl(&self, op: c_int, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
         let mut ev = EpollEvent { events: interest.bits(), data: key as u64 };
+        count::bump();
+        // SAFETY: `ev` is a live stack value for the duration of the
+        // call; the kernel copies it and keeps no reference.
         check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
         Ok(())
     }
@@ -174,8 +188,19 @@ impl Poller {
 
     /// Deregister `fd`.
     pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        count::bump();
+        // SAFETY: EPOLL_CTL_DEL ignores the event pointer (null is the
+        // documented form since Linux 2.6.9).
         check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) })?;
         Ok(())
+    }
+
+    /// The raw fd of the internal wakeup eventfd. The io_uring engine
+    /// keeps an `IORING_OP_READ` armed on it so [`Poller::notify`]
+    /// doorbells fold into the ring wait instead of an epoll wakeup;
+    /// the fd stays owned by (and is closed by) this `Poller`.
+    pub fn notify_fd(&self) -> RawFd {
+        self.event_fd
     }
 
     /// Block until at least one registered fd is ready, `timeout`
@@ -193,6 +218,9 @@ impl Poller {
             }
         };
         let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+        count::bump();
+        // SAFETY: `raw` is a live, writable array of `raw.len()`
+        // `EpollEvent`s; the kernel writes at most that many entries.
         let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
         let n = match check(n) {
             Ok(n) => n as usize,
@@ -222,6 +250,9 @@ impl Poller {
     /// `wait` returns immediately otherwise. Callable from any thread.
     pub fn notify(&self) -> io::Result<()> {
         let one: u64 = 1;
+        count::bump();
+        // SAFETY: the buffer is a live 8-byte stack value, the exact
+        // width an eventfd write requires.
         let ret = unsafe { write(self.event_fd, (&one as *const u64).cast(), 8) };
         // EAGAIN means the counter is already saturated — the wakeup is
         // pending, which is all a doorbell needs.
@@ -236,13 +267,18 @@ impl Poller {
 
     fn drain_notify(&self) {
         let mut buf = 0u64;
-        // Nonblocking eventfd: one read resets the counter.
+        count::bump();
+        // SAFETY: the buffer is a live, writable 8-byte stack value;
+        // a nonblocking eventfd read resets the counter.
         unsafe { read(self.event_fd, (&mut buf as *mut u64).cast(), 8) };
     }
 }
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        count::add(2);
+        // SAFETY: both fds are owned by this Poller and closed exactly
+        // once; no other handle to them escapes the type.
         unsafe {
             close(self.event_fd);
             close(self.epfd);
